@@ -1,0 +1,173 @@
+// Command tevot-dta runs dynamic timing analysis for one functional
+// unit at one operating corner: it generates the gate-level netlist,
+// annotates it at the corner (optionally emitting the SDF file), runs
+// back-annotated event-driven simulation over a random workload
+// (optionally dumping a VCD), and prints the dynamic-delay statistics.
+//
+// Example:
+//
+//	tevot-dta -fu INT_ADD -v 0.81 -t 25 -cycles 5000 -sdf add.sdf -vcd add.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/core"
+	"tevot/internal/liberty"
+	"tevot/internal/sdf"
+	"tevot/internal/sim"
+	"tevot/internal/vcd"
+	"tevot/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tevot-dta: ")
+	var (
+		fuName  = flag.String("fu", "INT_ADD", "functional unit: INT_ADD, INT_MUL, FP_ADD, FP_MUL")
+		voltage = flag.Float64("v", 0.90, "supply voltage (V)")
+		temp    = flag.Float64("t", 25, "temperature (°C)")
+		cycles  = flag.Int("cycles", 2000, "simulated cycles")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		sdfPath = flag.String("sdf", "", "write the corner's SDF annotation to this file")
+		vcdPath = flag.String("vcd", "", "write the simulation VCD to this file")
+		libPath = flag.String("lib", "", "write the corner's Liberty cell library to this file")
+		shmoo   = flag.Int("shmoo", 0, "print a TER-vs-clock shmoo with this many points")
+	)
+	flag.Parse()
+
+	fu, err := circuits.ParseFU(*fuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := core.NewFUnit(fu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corner := cells.Corner{V: *voltage, T: *temp}
+	static, err := u.Static(corner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s @ %s: %d gates, static delay %.1f ps\n",
+		fu, corner, u.NL.NumGates(), static.Delay)
+
+	if *sdfPath != "" {
+		f, err := sdf.FromAnnotation(u.NL, corner, static.GateDelay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := os.Create(*sdfPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Write(w, u.NL); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote SDF annotation to %s\n", *sdfPath)
+	}
+
+	if *libPath != "" {
+		lib, err := liberty.FromScaling("tevot45", u.Opts.Scaling, corner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := os.Create(*libPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lib.Write(w); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Liberty library to %s\n", *libPath)
+	}
+
+	stream := workload.Random(fu.IsFloat(), *cycles+1, *seed)
+
+	var tr *core.Trace
+	if *vcdPath != "" {
+		// Dump a VCD alongside the characterization by rerunning through
+		// an observed runner.
+		w, err := os.Create(*vcdPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		window := static.Delay * 1.5
+		vw := vcd.NewWriter(w, u.NL, window)
+		if err := vw.WriteHeader("tevot", "tevot-dta"); err != nil {
+			log.Fatal(err)
+		}
+		r, err := sim.NewRunner(u.NL, static.GateDelay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.SetObserver(vw.Observe)
+		prev := circuits.EncodeOperands(stream.Pairs[0].A, stream.Pairs[0].B)
+		for k := 1; k < stream.Len(); k++ {
+			vw.BeginCycle(k - 1)
+			cur := circuits.EncodeOperands(stream.Pairs[k].A, stream.Pairs[k].B)
+			if _, err := r.Cycle(prev, cur); err != nil {
+				log.Fatal(err)
+			}
+			prev = nil
+		}
+		if err := vw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote VCD to %s\n", *vcdPath)
+	}
+
+	var clocks []float64
+	if *shmoo > 1 {
+		// Two-pass: probe the dynamic-delay envelope on a short prefix,
+		// then sweep capture clocks across it (40 %..110 % of the
+		// observed max, where the TER curve actually moves).
+		probeLen := stream.Len()
+		if probeLen > 200 {
+			probeLen = 200
+		}
+		probe, err := core.Characterize(u, corner, stream.Slice(0, probeLen), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < *shmoo; i++ {
+			frac := 0.4 + 0.7*float64(i)/float64(*shmoo-1)
+			clocks = append(clocks, probe.MaxDelay*frac)
+		}
+	}
+	tr, err = core.Characterize(u, corner, stream, clocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(clocks) > 0 {
+		fmt.Println("\nshmoo: clock(ps)  TER")
+		for k, c := range clocks {
+			fmt.Printf("  %9.1f  %7.3f%%\n", c, 100*tr.TER(k))
+		}
+		fmt.Println()
+	}
+
+	delays := append([]float64(nil), tr.Delays...)
+	sort.Float64s(delays)
+	pct := func(p float64) float64 { return delays[int(p*float64(len(delays)-1))] }
+	fmt.Printf("cycles      %d\n", tr.Cycles())
+	fmt.Printf("events      %d (%.0f per cycle)\n", tr.Events, float64(tr.Events)/float64(tr.Cycles()))
+	fmt.Printf("mean delay  %.1f ps\n", tr.MeanDelay())
+	fmt.Printf("p50 / p95   %.1f / %.1f ps\n", pct(0.50), pct(0.95))
+	fmt.Printf("max delay   %.1f ps (%.1f%% of static)\n", tr.MaxDelay, 100*tr.MaxDelay/tr.StaticDelay)
+}

@@ -1,0 +1,65 @@
+// Command tevot-sweep regenerates the paper's Fig. 3: the average
+// dynamic delay of each functional unit under each dataset across
+// operating corners. By default it sweeps the paper's 9-corner plot
+// subset; -grid sweeps the full 100-corner Table I grid.
+//
+// Example:
+//
+//	tevot-sweep -cycles 2000 -fu INT_ADD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tevot/internal/circuits"
+	"tevot/internal/core"
+	"tevot/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tevot-sweep: ")
+	var (
+		cycles  = flag.Int("cycles", 1500, "cycles per characterization")
+		fuName  = flag.String("fu", "", "restrict to one FU (default: all four)")
+		full    = flag.Bool("grid", false, "sweep the full Table I grid instead of the Fig. 3 subset")
+		images  = flag.Int("images", 3, "synthetic images for application datasets")
+		imgSize = flag.Int("imgsize", 24, "synthetic image side length")
+	)
+	flag.Parse()
+
+	scale := experiments.Small()
+	scale.TestCycles = *cycles
+	scale.TrainCycles = *cycles
+	scale.Images = *images
+	scale.ImageSize = *imgSize
+	scale.AppStreamCap = *cycles
+	if *fuName != "" {
+		fu, err := circuits.ParseFU(*fuName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scale.FUs = []circuits.FU{fu}
+	}
+	corners := core.Fig3Corners()
+	if *full {
+		corners = core.TableIGrid().Corners()
+	}
+
+	lab, err := experiments.NewLab(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := experiments.Fig3(lab, corners)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FU       (V, T)          dataset        mean(ps)   max(ps)  static(ps)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-14s  %-13s %9.1f %9.1f %10.1f\n",
+			r.FU, r.Corner, r.Dataset, r.MeanDelay, r.MaxDelay, r.Static)
+	}
+}

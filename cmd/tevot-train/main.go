@@ -1,0 +1,166 @@
+// Command tevot-train trains TEVoT and evaluates it against the three
+// baseline error models across functional units, datasets, operating
+// corners, and clock speedups — the paper's Table III. With -compare it
+// instead reproduces Table II, the learning-method comparison (LR, k-NN,
+// SVM, RFC).
+//
+// Examples:
+//
+//	tevot-train -cycles 5000 -corners 3          # quick Table III
+//	tevot-train -paper                           # full 100-corner sweep (hours)
+//	tevot-train -compare -cycles 20000           # Table II
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tevot/internal/circuits"
+	"tevot/internal/core"
+	"tevot/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tevot-train: ")
+	var (
+		cycles  = flag.Int("cycles", 2000, "training cycles per corner (test uses ~40%)")
+		nCorner = flag.Int("corners", 3, "number of corners sampled from the Table I grid")
+		fuName  = flag.String("fu", "", "restrict to one FU (default: all four)")
+		paper   = flag.Bool("paper", false, "run the paper-scale sweep (100 corners, 200K cycles)")
+		compare = flag.Bool("compare", false, "run the Table II learning-method comparison instead")
+		seed    = flag.Int64("seed", 1, "global seed")
+		saveDir = flag.String("savemodels", "", "train one TEVoT model per FU on random data and save to this directory (skips evaluation)")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	if *paper {
+		scale = experiments.Paper()
+	} else {
+		scale = experiments.Small()
+		scale.TrainCycles = *cycles
+		scale.TestCycles = (*cycles * 2) / 5
+		scale.AppStreamCap = *cycles
+		all := core.TableIGrid().Corners()
+		if *nCorner > len(all) {
+			*nCorner = len(all)
+		}
+		scale.Corners = scale.Corners[:0]
+		for i := 0; i < *nCorner; i++ {
+			scale.Corners = append(scale.Corners, all[i*len(all)/(*nCorner)])
+		}
+	}
+	scale.Seed = *seed
+	if *fuName != "" {
+		fu, err := circuits.ParseFU(*fuName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scale.FUs = []circuits.FU{fu}
+	}
+
+	lab, err := experiments.NewLab(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *saveDir != "" {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for fu, u := range lab.Units {
+			var traces []*core.Trace
+			for _, corner := range scale.Corners {
+				train, err := lab.Stream(fu, experiments.DatasetRandom, true)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if _, err := u.CalibrateBaseClock(corner, train); err != nil {
+					log.Fatal(err)
+				}
+				tr, err := core.CharacterizeWithSpeedups(u, corner, train, scale.Speedups)
+				if err != nil {
+					log.Fatal(err)
+				}
+				traces = append(traces, tr)
+			}
+			model, err := core.Train(fu, traces, core.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*saveDir, strings.ToLower(fu.String())+".tevot")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := model.Save(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("saved %v model (top features: %v) to %s\n",
+				fu, model.TopFeatures(3), path)
+		}
+		return
+	}
+
+	if *compare {
+		results, err := experiments.Table2(lab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table II — learning-method comparison")
+		fmt.Println("method  accuracy  train-time    test-time")
+		for _, r := range results {
+			fmt.Printf("%-6s %8.2f%% %12v %12v\n", r.Method, 100*r.Accuracy, r.TrainTime, r.TestTime)
+		}
+		return
+	}
+
+	cells3, err := experiments.Table3(lab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Table III — prediction accuracy across %d corners, %d speedups\n",
+		len(scale.Corners), len(scale.Speedups))
+	fmt.Println("FU       dataset        TEVoT    Delay-based  TER-based  TEVoT-NH")
+	for _, fu := range circuits.AllFUs {
+		for _, ds := range experiments.Datasets {
+			var row [4]float64
+			found := false
+			for _, c := range cells3 {
+				if c.FU != fu || c.Dataset != ds {
+					continue
+				}
+				found = true
+				switch c.Model {
+				case "TEVoT":
+					row[0] = c.Accuracy
+				case "Delay-based":
+					row[1] = c.Accuracy
+				case "TER-based":
+					row[2] = c.Accuracy
+				case "TEVoT-NH":
+					row[3] = c.Accuracy
+				}
+			}
+			if !found {
+				continue
+			}
+			fmt.Printf("%-8s %-13s %6.2f%% %11.2f%% %9.2f%% %9.2f%%\n",
+				fu, ds, 100*row[0], 100*row[1], 100*row[2], 100*row[3])
+		}
+	}
+	fmt.Printf("\nmean: TEVoT %.2f%% | Delay-based %.2f%% | TER-based %.2f%% | TEVoT-NH %.2f%%\n",
+		100*experiments.MeanAccuracy(cells3, "TEVoT"),
+		100*experiments.MeanAccuracy(cells3, "Delay-based"),
+		100*experiments.MeanAccuracy(cells3, "TER-based"),
+		100*experiments.MeanAccuracy(cells3, "TEVoT-NH"))
+}

@@ -1,0 +1,3 @@
+module tevot
+
+go 1.24

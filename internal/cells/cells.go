@@ -1,0 +1,263 @@
+// Package cells provides the standard-cell library used by the gate-level
+// substrate: the set of primitive cell kinds, their logic functions, their
+// nominal timing parameters, and the voltage/temperature delay-scaling
+// model that stands in for the composite-current-source characterization
+// the paper obtains from a commercial 45 nm library.
+package cells
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Kind identifies a primitive cell in the library.
+type Kind uint8
+
+// The cell library. Arities are fixed per kind; MUX2 input order is
+// (d0, d1, sel).
+const (
+	Buf Kind = iota
+	Inv
+	And2
+	Or2
+	Nand2
+	Nor2
+	Xor2
+	Xnor2
+	And3
+	Or3
+	Nand3
+	Nor3
+	Mux2
+	numKinds
+)
+
+var kindNames = [...]string{
+	Buf: "BUF", Inv: "INV",
+	And2: "AND2", Or2: "OR2", Nand2: "NAND2", Nor2: "NOR2",
+	Xor2: "XOR2", Xnor2: "XNOR2",
+	And3: "AND3", Or3: "OR3", Nand3: "NAND3", Nor3: "NOR3",
+	Mux2: "MUX2",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind maps a cell name as printed by String ("NAND2", ...) back to
+// its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("cells: unknown cell kind %q", s)
+}
+
+// Kinds returns all cell kinds in the library.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// NumInputs reports the arity of the cell kind.
+func (k Kind) NumInputs() int {
+	switch k {
+	case Buf, Inv:
+		return 1
+	case And2, Or2, Nand2, Nor2, Xor2, Xnor2:
+		return 2
+	case And3, Or3, Nand3, Nor3, Mux2:
+		return 3
+	}
+	panic("cells: unknown kind " + k.String())
+}
+
+// Eval computes the cell's output for the given input values. The length
+// of in must equal NumInputs.
+func (k Kind) Eval(in []bool) bool {
+	switch k {
+	case Buf:
+		return in[0]
+	case Inv:
+		return !in[0]
+	case And2:
+		return in[0] && in[1]
+	case Or2:
+		return in[0] || in[1]
+	case Nand2:
+		return !(in[0] && in[1])
+	case Nor2:
+		return !(in[0] || in[1])
+	case Xor2:
+		return in[0] != in[1]
+	case Xnor2:
+		return in[0] == in[1]
+	case And3:
+		return in[0] && in[1] && in[2]
+	case Or3:
+		return in[0] || in[1] || in[2]
+	case Nand3:
+		return !(in[0] && in[1] && in[2])
+	case Nor3:
+		return !(in[0] || in[1] || in[2])
+	case Mux2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	}
+	panic("cells: unknown kind " + k.String())
+}
+
+// Timing holds the nominal-corner timing parameters of a cell kind, in
+// picoseconds. Delay of an instance driving F fanout loads at the nominal
+// corner is Intrinsic + F*PerLoad.
+type Timing struct {
+	Intrinsic float64 // ps, unloaded propagation delay
+	PerLoad   float64 // ps per unit fanout load
+}
+
+// timings approximates relative cell delays of a 45 nm library: inverting
+// single-stage cells are fastest, XOR-class cells (two stages of logic)
+// slowest, three-input cells slower than two-input ones.
+var timings = [...]Timing{
+	Buf:   {28, 5.0},
+	Inv:   {14, 4.0},
+	And2:  {32, 5.5},
+	Or2:   {33, 5.5},
+	Nand2: {18, 4.5},
+	Nor2:  {20, 4.8},
+	Xor2:  {44, 6.5},
+	Xnor2: {45, 6.5},
+	And3:  {39, 6.0},
+	Or3:   {41, 6.0},
+	Nand3: {24, 5.2},
+	Nor3:  {27, 5.5},
+	Mux2:  {38, 6.0},
+}
+
+// NominalTiming returns the nominal-corner timing parameters for k.
+func NominalTiming(k Kind) Timing { return timings[k] }
+
+// Corner is an operating condition: supply voltage in volts and junction
+// temperature in degrees Celsius.
+type Corner struct {
+	V float64 // volts
+	T float64 // °C
+}
+
+func (c Corner) String() string { return fmt.Sprintf("(%.2fV,%g°C)", c.V, c.T) }
+
+// ScalingModel parameterizes the alpha-power-law delay derating used to
+// translate nominal cell delays to an arbitrary (V, T) corner:
+//
+//	d(V,T) = d_nom · mob(T) · ((Vnom−Vth(Tnom))/(V−Vth(T)))^α · (V/Vnom)
+//	Vth(T) = Vth0 − Ktheta·(T − Tnom)
+//	mob(T) = ((T+273.15)/(Tnom+273.15))^M
+//
+// The threshold-voltage term dominates at low supply voltage (delay falls
+// as temperature rises) while the mobility term dominates near nominal
+// voltage (delay rises with temperature): the inverse temperature
+// dependence the paper observes.
+type ScalingModel struct {
+	Vnom   float64 // nominal supply voltage, volts
+	Tnom   float64 // nominal temperature, °C
+	Vth0   float64 // threshold voltage at Tnom, volts
+	Ktheta float64 // threshold temperature coefficient, V/°C
+	Alpha  float64 // velocity-saturation exponent
+	M      float64 // mobility temperature exponent
+}
+
+// DefaultScaling returns the scaling model calibrated for the paper's
+// operating window (0.81 V – 1.00 V, 0 °C – 100 °C): the temperature
+// sensitivity of delay changes sign inside the window.
+func DefaultScaling() ScalingModel {
+	return ScalingModel{
+		Vnom:   1.00,
+		Tnom:   25,
+		Vth0:   0.50,
+		Ktheta: 0.0012,
+		Alpha:  1.3,
+		M:      1.35,
+	}
+}
+
+// Validate reports whether the corner is inside the model's physical
+// domain (supply must stay safely above threshold).
+func (m ScalingModel) Validate(c Corner) error {
+	if c.V <= m.Vth(c.T)+0.05 {
+		return fmt.Errorf("cells: corner %v below valid supply range (Vth=%.3fV)", c, m.Vth(c.T))
+	}
+	if c.T < -55 || c.T > 150 {
+		return fmt.Errorf("cells: corner %v outside temperature range [-55,150]", c)
+	}
+	return nil
+}
+
+// Vth returns the temperature-adjusted threshold voltage.
+func (m ScalingModel) Vth(t float64) float64 {
+	return m.Vth0 - m.Ktheta*(t-m.Tnom)
+}
+
+// Factor returns the multiplicative delay derating for corner c relative
+// to the nominal corner, for a cell of average voltage sensitivity.
+// Factor of the nominal corner is 1.
+func (m ScalingModel) Factor(c Corner) float64 {
+	return m.factorAlpha(c, m.Alpha)
+}
+
+// alphaAdjust models the composite-current-source observation that cell
+// types derate differently with supply: transistor stacks (3-input
+// gates, NOR pull-ups) lose drive faster at low voltage than single
+// inverters. Because of this, path ranking — and therefore which path is
+// critical and which cycles err — changes with the corner, which is
+// exactly the cross-condition structure TEVoT's (V, T) features learn.
+var alphaAdjust = [...]float64{
+	Buf:   1.00,
+	Inv:   0.94,
+	And2:  1.02,
+	Or2:   1.04,
+	Nand2: 0.97,
+	Nor2:  1.06,
+	Xor2:  1.03,
+	Xnor2: 1.05,
+	And3:  1.08,
+	Or3:   1.10,
+	Nand3: 1.04,
+	Nor3:  1.13,
+	Mux2:  1.01,
+}
+
+// FactorFor is Factor with the cell kind's own voltage-sensitivity
+// exponent. It equals 1 at the nominal corner for every kind.
+func (m ScalingModel) FactorFor(k Kind, c Corner) float64 {
+	return m.factorAlpha(c, m.Alpha*alphaAdjust[k])
+}
+
+func (m ScalingModel) factorAlpha(c Corner, alpha float64) float64 {
+	mob := math.Pow((c.T+273.15)/(m.Tnom+273.15), m.M)
+	drive := math.Pow((m.Vnom-m.Vth(m.Tnom))/(c.V-m.Vth(c.T)), alpha)
+	return mob * drive * (c.V / m.Vnom)
+}
+
+// JitterFactor returns a deterministic per-instance delay multiplier in
+// [1-spread, 1+spread], derived from the instance name. It models
+// within-die cell mismatch so that identical cells on parallel paths do
+// not switch in lockstep.
+func JitterFactor(instance string, spread float64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(instance))
+	// Map the hash to [-1, 1).
+	u := int64(h.Sum64()>>11) % (1 << 20)
+	f := float64(u)/float64(1<<19) - 1
+	return 1 + spread*f
+}

@@ -1,0 +1,198 @@
+package cells
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindNumInputs(t *testing.T) {
+	want := map[Kind]int{
+		Buf: 1, Inv: 1,
+		And2: 2, Or2: 2, Nand2: 2, Nor2: 2, Xor2: 2, Xnor2: 2,
+		And3: 3, Or3: 3, Nand3: 3, Nor3: 3, Mux2: 3,
+	}
+	if len(want) != int(numKinds) {
+		t.Fatalf("test covers %d kinds, library has %d", len(want), numKinds)
+	}
+	for k, n := range want {
+		if got := k.NumInputs(); got != n {
+			t.Errorf("%s.NumInputs() = %d, want %d", k, got, n)
+		}
+	}
+}
+
+// TestEvalTruthTables exhaustively checks every cell against a reference
+// boolean expression over all input combinations.
+func TestEvalTruthTables(t *testing.T) {
+	refs := map[Kind]func(in []bool) bool{
+		Buf:   func(in []bool) bool { return in[0] },
+		Inv:   func(in []bool) bool { return !in[0] },
+		And2:  func(in []bool) bool { return in[0] && in[1] },
+		Or2:   func(in []bool) bool { return in[0] || in[1] },
+		Nand2: func(in []bool) bool { return !(in[0] && in[1]) },
+		Nor2:  func(in []bool) bool { return !(in[0] || in[1]) },
+		Xor2:  func(in []bool) bool { return in[0] != in[1] },
+		Xnor2: func(in []bool) bool { return in[0] == in[1] },
+		And3:  func(in []bool) bool { return in[0] && in[1] && in[2] },
+		Or3:   func(in []bool) bool { return in[0] || in[1] || in[2] },
+		Nand3: func(in []bool) bool { return !(in[0] && in[1] && in[2]) },
+		Nor3:  func(in []bool) bool { return !(in[0] || in[1] || in[2]) },
+		Mux2: func(in []bool) bool {
+			if in[2] {
+				return in[1]
+			}
+			return in[0]
+		},
+	}
+	for k, ref := range refs {
+		n := k.NumInputs()
+		for bits := 0; bits < 1<<n; bits++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = bits>>i&1 == 1
+			}
+			if got, want := k.Eval(in), ref(in); got != want {
+				t.Errorf("%s.Eval(%v) = %v, want %v", k, in, got, want)
+			}
+		}
+	}
+}
+
+func TestNominalTimingPositive(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		tm := NominalTiming(k)
+		if tm.Intrinsic <= 0 || tm.PerLoad <= 0 {
+			t.Errorf("%s has non-positive timing %+v", k, tm)
+		}
+	}
+	if inv, xor := NominalTiming(Inv), NominalTiming(Xor2); inv.Intrinsic >= xor.Intrinsic {
+		t.Errorf("INV (%v) should be faster than XOR2 (%v)", inv.Intrinsic, xor.Intrinsic)
+	}
+}
+
+func TestScalingNominalIsUnity(t *testing.T) {
+	m := DefaultScaling()
+	f := m.Factor(Corner{V: m.Vnom, T: m.Tnom})
+	if math.Abs(f-1) > 1e-12 {
+		t.Fatalf("Factor(nominal) = %v, want 1", f)
+	}
+}
+
+func TestScalingMonotoneInVoltage(t *testing.T) {
+	m := DefaultScaling()
+	for _, temp := range []float64{0, 25, 50, 75, 100} {
+		prev := math.Inf(1)
+		for v := 0.81; v <= 1.001; v += 0.01 {
+			f := m.Factor(Corner{V: v, T: temp})
+			if f >= prev {
+				t.Fatalf("Factor not strictly decreasing in V at T=%g: f(%.2f)=%.5f >= %.5f", temp, v, f, prev)
+			}
+			prev = f
+		}
+	}
+}
+
+// TestInverseTemperatureDependence pins the paper's Fig. 3 physics: at the
+// lowest supply, heating the die speeds it up; at nominal supply, heating
+// slows it down.
+func TestInverseTemperatureDependence(t *testing.T) {
+	m := DefaultScaling()
+	lowCold := m.Factor(Corner{V: 0.81, T: 0})
+	lowHot := m.Factor(Corner{V: 0.81, T: 100})
+	if lowHot >= lowCold {
+		t.Errorf("at 0.81V delay should drop with temperature: f(0°)=%.5f f(100°)=%.5f", lowCold, lowHot)
+	}
+	hiCold := m.Factor(Corner{V: 1.00, T: 0})
+	hiHot := m.Factor(Corner{V: 1.00, T: 100})
+	if hiHot <= hiCold {
+		t.Errorf("at 1.00V delay should rise with temperature: f(0°)=%.5f f(100°)=%.5f", hiCold, hiHot)
+	}
+}
+
+func TestScalingLowVoltageSlower(t *testing.T) {
+	m := DefaultScaling()
+	f := m.Factor(Corner{V: 0.81, T: 25})
+	if f < 1.2 {
+		t.Errorf("0.81V derating = %.3f; expected a substantial slowdown (>1.2x)", f)
+	}
+	if f > 3.5 {
+		t.Errorf("0.81V derating = %.3f; implausibly large", f)
+	}
+}
+
+func TestValidateCorner(t *testing.T) {
+	m := DefaultScaling()
+	if err := m.Validate(Corner{V: 0.81, T: 0}); err != nil {
+		t.Errorf("valid corner rejected: %v", err)
+	}
+	if err := m.Validate(Corner{V: 0.50, T: 25}); err == nil {
+		t.Error("near-threshold corner accepted; want error")
+	}
+	if err := m.Validate(Corner{V: 1.0, T: 200}); err == nil {
+		t.Error("200°C corner accepted; want error")
+	}
+}
+
+func TestJitterFactorDeterministicAndBounded(t *testing.T) {
+	const spread = 0.02
+	a1 := JitterFactor("u1_XOR2", spread)
+	a2 := JitterFactor("u1_XOR2", spread)
+	if a1 != a2 {
+		t.Fatalf("JitterFactor not deterministic: %v != %v", a1, a2)
+	}
+	if b := JitterFactor("u2_XOR2", spread); b == a1 {
+		t.Logf("note: distinct instances produced equal jitter (hash collision is possible but unlikely)")
+	}
+	f := func(name string) bool {
+		j := JitterFactor(name, spread)
+		return j >= 1-spread && j <= 1+spread
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterSpreadZero(t *testing.T) {
+	if j := JitterFactor("anything", 0); j != 1 {
+		t.Fatalf("JitterFactor with zero spread = %v, want 1", j)
+	}
+}
+
+// TestFactorForNominalUnity: per-kind derating is exactly 1 at the
+// nominal corner for every cell kind.
+func TestFactorForNominalUnity(t *testing.T) {
+	m := DefaultScaling()
+	nom := Corner{V: m.Vnom, T: m.Tnom}
+	for k := Kind(0); k < numKinds; k++ {
+		if f := m.FactorFor(k, nom); math.Abs(f-1) > 1e-12 {
+			t.Errorf("%s: FactorFor(nominal) = %v, want 1", k, f)
+		}
+	}
+}
+
+// TestStackedCellsDerateMore: at low voltage, transistor stacks (NOR3)
+// slow down more than inverters — the cell-type dependence that makes
+// path ranking corner-sensitive.
+func TestStackedCellsDerateMore(t *testing.T) {
+	m := DefaultScaling()
+	low := Corner{V: 0.81, T: 25}
+	if inv, nor3 := m.FactorFor(Inv, low), m.FactorFor(Nor3, low); nor3 <= inv {
+		t.Errorf("NOR3 derating (%v) should exceed INV (%v) at 0.81V", nor3, inv)
+	}
+}
+
+// TestFactorPropertyPositive checks the derating is positive and finite
+// across the whole Table I operating window.
+func TestFactorPropertyPositive(t *testing.T) {
+	m := DefaultScaling()
+	f := func(vi, ti uint8) bool {
+		v := 0.81 + float64(vi%20)*0.01
+		temp := float64(ti%5) * 25
+		fac := m.Factor(Corner{V: v, T: temp})
+		return fac > 0 && !math.IsInf(fac, 0) && !math.IsNaN(fac)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

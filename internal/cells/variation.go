@@ -1,0 +1,119 @@
+package cells
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// The paper's §III notes that "the same principle can be used to
+// incorporate process and aging variations" and §VI names them as future
+// work. This file implements both as threshold-voltage shifts feeding
+// the same alpha-power delay model: a per-die plus per-instance ΔVth for
+// process variation, and a stress-time-dependent ΔVth for BTI aging.
+
+// ProcessModel describes process-induced threshold variation: a
+// die-to-die component shared by every cell on a die and a within-die
+// random component per instance. All draws are deterministic functions
+// of (DieSeed, instance name).
+type ProcessModel struct {
+	// DieSigma is the die-to-die Vth standard deviation, volts
+	// (e.g. 0.015 for 15 mV).
+	DieSigma float64
+	// WithinSigma is the within-die per-instance Vth standard
+	// deviation, volts.
+	WithinSigma float64
+	// DieSeed identifies the die; different seeds are different chips.
+	DieSeed int64
+}
+
+// DefaultProcess returns a moderate 45 nm-flavored corner: ±15 mV
+// die-to-die, ±8 mV within-die.
+func DefaultProcess(dieSeed int64) ProcessModel {
+	return ProcessModel{DieSigma: 0.015, WithinSigma: 0.008, DieSeed: dieSeed}
+}
+
+// Validate rejects negative spreads.
+func (p ProcessModel) Validate() error {
+	if p.DieSigma < 0 || p.WithinSigma < 0 {
+		return fmt.Errorf("cells: negative process sigma %+v", p)
+	}
+	return nil
+}
+
+// DieShift returns the die's shared Vth offset, volts.
+func (p ProcessModel) DieShift() float64 {
+	return p.DieSigma * gaussFromHash(uint64(p.DieSeed)*0x9e3779b97f4a7c15+1)
+}
+
+// VthShift returns the total (die + within-die) Vth offset of one cell
+// instance, volts.
+func (p ProcessModel) VthShift(instance string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(instance))
+	local := p.WithinSigma * gaussFromHash(h.Sum64()^uint64(p.DieSeed))
+	return p.DieShift() + local
+}
+
+// gaussFromHash turns a hash into an approximately standard-normal
+// variate via the sum of uniforms (Irwin–Hall with 12 terms), fully
+// deterministic.
+func gaussFromHash(h uint64) float64 {
+	s := 0.0
+	x := h
+	for i := 0; i < 12; i++ {
+		x ^= x >> 12
+		x *= 0x2545f4914f6cdd1d
+		x ^= x << 25
+		x ^= x >> 27
+		s += float64(x>>11) / float64(1<<53)
+	}
+	return s - 6
+}
+
+// AgingModel describes BTI-style wearout: threshold voltage rises with
+// stress time as ΔVth = A·t^N (t in years), slowing the circuit — the
+// classic power-law used in guardbanding studies.
+type AgingModel struct {
+	// A is the ΔVth after one year of stress, volts (e.g. 0.02).
+	A float64
+	// N is the time exponent (typically 0.1–0.25).
+	N float64
+	// Years is the accumulated stress time.
+	Years float64
+}
+
+// DefaultAging returns a 3-year moderate-wearout profile (~25 mV).
+func DefaultAging(years float64) AgingModel {
+	return AgingModel{A: 0.02, N: 0.2, Years: years}
+}
+
+// Validate rejects unphysical parameters.
+func (a AgingModel) Validate() error {
+	if a.A < 0 || a.N <= 0 || a.Years < 0 {
+		return fmt.Errorf("cells: invalid aging model %+v", a)
+	}
+	return nil
+}
+
+// VthShift returns the aging-induced Vth increase, volts.
+func (a AgingModel) VthShift() float64 {
+	if a.Years == 0 {
+		return 0
+	}
+	return a.A * math.Pow(a.Years, a.N)
+}
+
+// FactorShifted is FactorFor with an additional threshold-voltage shift
+// (process and/or aging), in volts. A positive shift raises Vth and
+// therefore the delay. It equals FactorFor when the shift is zero.
+func (m ScalingModel) FactorShifted(k Kind, c Corner, dVth float64) float64 {
+	alpha := m.Alpha * alphaAdjust[k]
+	mob := math.Pow((c.T+273.15)/(m.Tnom+273.15), m.M)
+	denom := c.V - (m.Vth(c.T) + dVth)
+	if denom <= 0.01 {
+		denom = 0.01 // clamp: a near-threshold cell is ~stalled, not negative
+	}
+	drive := math.Pow((m.Vnom-m.Vth(m.Tnom))/denom, alpha)
+	return mob * drive * (c.V / m.Vnom)
+}

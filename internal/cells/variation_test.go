@@ -1,0 +1,129 @@
+package cells
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAgingShiftGrowsWithTime(t *testing.T) {
+	fresh := DefaultAging(0)
+	if fresh.VthShift() != 0 {
+		t.Errorf("fresh silicon has shift %v", fresh.VthShift())
+	}
+	prev := 0.0
+	for _, years := range []float64{0.5, 1, 3, 10} {
+		s := DefaultAging(years).VthShift()
+		if s <= prev {
+			t.Fatalf("aging shift not increasing: %v at %v years", s, years)
+		}
+		prev = s
+	}
+	if y3 := DefaultAging(3).VthShift(); y3 < 0.015 || y3 > 0.05 {
+		t.Errorf("3-year shift %v outside plausible 15–50 mV", y3)
+	}
+}
+
+func TestAgingValidate(t *testing.T) {
+	if err := (AgingModel{A: -1, N: 0.2}).Validate(); err == nil {
+		t.Error("accepted negative A")
+	}
+	if err := (AgingModel{A: 0.02, N: 0, Years: 1}).Validate(); err == nil {
+		t.Error("accepted zero exponent")
+	}
+}
+
+func TestFactorShiftedMatchesUnshifted(t *testing.T) {
+	m := DefaultScaling()
+	c := Corner{V: 0.85, T: 50}
+	for k := Kind(0); k < numKinds; k++ {
+		a := m.FactorFor(k, c)
+		b := m.FactorShifted(k, c, 0)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("%s: FactorShifted(0) = %v, FactorFor = %v", k, b, a)
+		}
+	}
+}
+
+func TestFactorShiftedSlowsWithPositiveShift(t *testing.T) {
+	m := DefaultScaling()
+	c := Corner{V: 0.85, T: 50}
+	base := m.FactorShifted(Nand2, c, 0)
+	aged := m.FactorShifted(Nand2, c, 0.03)
+	if aged <= base {
+		t.Errorf("30 mV Vth shift should slow the cell: %v vs %v", aged, base)
+	}
+	// A fast-corner (negative) shift speeds it up.
+	fast := m.FactorShifted(Nand2, c, -0.02)
+	if fast >= base {
+		t.Errorf("negative shift should speed the cell: %v vs %v", fast, base)
+	}
+}
+
+func TestProcessDeterministicPerDie(t *testing.T) {
+	p := DefaultProcess(7)
+	a := p.VthShift("u1_NAND2")
+	b := p.VthShift("u1_NAND2")
+	if a != b {
+		t.Fatal("process shift not deterministic")
+	}
+	other := DefaultProcess(8)
+	if other.VthShift("u1_NAND2") == a {
+		t.Error("different dies produced identical shifts (unlikely)")
+	}
+}
+
+func TestProcessDieShiftShared(t *testing.T) {
+	p := ProcessModel{DieSigma: 0.02, WithinSigma: 0, DieSeed: 3}
+	a := p.VthShift("u1_INV")
+	b := p.VthShift("u999_XOR2")
+	if a != b {
+		t.Errorf("with zero within-die sigma all instances should share the die shift: %v vs %v", a, b)
+	}
+}
+
+func TestProcessWithinDieSpread(t *testing.T) {
+	p := ProcessModel{DieSigma: 0, WithinSigma: 0.01, DieSeed: 1}
+	var sum, sq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s := p.VthShift(instName(i))
+		sum += s
+		sq += s * s
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.002 {
+		t.Errorf("within-die mean shift %v; want near 0", mean)
+	}
+	if std < 0.007 || std > 0.013 {
+		t.Errorf("within-die std %v; want ~0.01", std)
+	}
+}
+
+func instName(i int) string {
+	return "u" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+func TestProcessValidate(t *testing.T) {
+	if err := (ProcessModel{DieSigma: -1}).Validate(); err == nil {
+		t.Error("accepted negative sigma")
+	}
+}
+
+func TestGaussFromHashMoments(t *testing.T) {
+	var sum, sq float64
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		g := gaussFromHash(i*0x9e3779b97f4a7c15 + 12345)
+		sum += g
+		sq += g * g
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("hash-gaussian mean %v, want ~0", mean)
+	}
+	if std < 0.9 || std > 1.1 {
+		t.Errorf("hash-gaussian std %v, want ~1", std)
+	}
+}

@@ -1,0 +1,81 @@
+package circuits
+
+import (
+	"fmt"
+
+	"tevot/internal/netlist"
+)
+
+// NewRippleAdder builds a width-bit ripple-carry adder FU: inputs a and b,
+// output s = a + b (mod 2^width). The carry chain makes the sensitized
+// path length strongly input-dependent — from a single full-adder delay up
+// to the full chain — which is exactly the dynamic-delay behaviour TEVoT
+// is built to learn.
+func NewRippleAdder(width int) *netlist.Netlist {
+	if width < 1 {
+		panic("circuits: adder width must be positive")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("int_add%d_rca", width))
+	a := Bus(b.InputBus("a", width))
+	c := Bus(b.InputBus("b", width))
+	sum, _ := rippleAdd(b, a, c, b.Const0())
+	b.NamedOutputBus("s", sum)
+	return b.MustBuild()
+}
+
+// NewCLAAdder builds a width-bit adder from 4-bit carry-lookahead groups
+// with ripple between groups. It computes the same function as
+// NewRippleAdder but with a much shorter worst-case carry path; it exists
+// for the path-topology ablation (how much of TEVoT's advantage comes
+// from long data-dependent chains).
+func NewCLAAdder(width int) *netlist.Netlist {
+	if width < 1 {
+		panic("circuits: adder width must be positive")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("int_add%d_cla", width))
+	a := Bus(b.InputBus("a", width))
+	c := Bus(b.InputBus("b", width))
+	sum := make(Bus, width)
+
+	carry := b.Const0()
+	for lo := 0; lo < width; lo += 4 {
+		hi := lo + 4
+		if hi > width {
+			hi = width
+		}
+		n := hi - lo
+		p := make(Bus, n) // propagate
+		g := make(Bus, n) // generate
+		for i := 0; i < n; i++ {
+			p[i] = b.Xor(a[lo+i], c[lo+i])
+			g[i] = b.And(a[lo+i], c[lo+i])
+		}
+		// Lookahead carries within the group, as flat sum-of-products:
+		// c1 = g0 + p0·c0
+		// c2 = g1 + p1·g0 + p1·p0·c0
+		// c3 = g2 + p2·g1 + p2·p1·g0 + p2·p1·p0·c0 ...
+		// prefix[j][i] = p[i]·p[i+1]·…·p[j-1] is built incrementally so the
+		// whole group has constant logic depth instead of a ripple chain.
+		cin := carry
+		groupC := make(Bus, n+1)
+		groupC[0] = cin
+		for i := 1; i <= n; i++ {
+			// Terms for c_i: g_{i-1}, and for each j < i-1 the product
+			// p_{i-1}…p_{j+1}·g_j, plus p_{i-1}…p_0·cin.
+			terms := Bus{g[i-1]}
+			prod := p[i-1]
+			for j := i - 2; j >= 0; j-- {
+				terms = append(terms, b.And(prod, g[j]))
+				prod = b.And(prod, p[j])
+			}
+			terms = append(terms, b.And(prod, cin))
+			groupC[i] = orTree(b, terms)
+		}
+		for i := 0; i < n; i++ {
+			sum[lo+i] = b.Xor(p[i], groupC[i])
+		}
+		carry = groupC[n]
+	}
+	b.NamedOutputBus("s", sum)
+	return b.MustBuild()
+}

@@ -1,0 +1,44 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkBuild measures netlist generation cost per functional unit.
+func BenchmarkBuild(b *testing.B) {
+	for _, fu := range AllFUs {
+		b.Run(fu.String(), func(b *testing.B) {
+			var gates int
+			for i := 0; i < b.N; i++ {
+				nl, err := fu.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				gates = nl.NumGates()
+			}
+			b.ReportMetric(float64(gates), "gates")
+		})
+	}
+}
+
+// BenchmarkEval measures zero-delay functional evaluation per FU.
+func BenchmarkEval(b *testing.B) {
+	for _, fu := range AllFUs {
+		b.Run(fu.String(), func(b *testing.B) {
+			nl, err := fu.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			in := EncodeOperands(rng.Uint32(), rng.Uint32())
+			vals := make([]bool, nl.NumNets())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := nl.EvalInto(in, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

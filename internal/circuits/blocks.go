@@ -1,0 +1,244 @@
+// Package circuits generates the gate-level netlists of the functional
+// units the paper models — 32-bit integer adder and multiplier, and
+// IEEE-754 single-precision floating-point adder and multiplier — plus the
+// generic datapath blocks they are assembled from (ripple/lookahead
+// adders, array multipliers, barrel shifters, leading-zero counters,
+// comparators).
+//
+// The generators replace the paper's FloPoCo-RTL + Synopsys-synthesis
+// flow: what matters to TEVoT is that each unit is a real gate network
+// whose sensitized longest path depends on the applied input pair, which
+// these structures exhibit strongly (carry chains, partial-product
+// ripples, shifter cascades).
+package circuits
+
+import (
+	"tevot/internal/netlist"
+)
+
+// Bus is a little-endian (LSB-first) group of nets.
+type Bus []netlist.NetID
+
+// halfAdder returns (sum, carry) = a + b.
+func halfAdder(b *netlist.Builder, x, y netlist.NetID) (sum, carry netlist.NetID) {
+	return b.Xor(x, y), b.And(x, y)
+}
+
+// fullAdder returns (sum, carry) = x + y + cin using the canonical
+// 5-gate decomposition.
+func fullAdder(b *netlist.Builder, x, y, cin netlist.NetID) (sum, carry netlist.NetID) {
+	p := b.Xor(x, y)
+	sum = b.Xor(p, cin)
+	g := b.And(x, y)
+	t := b.And(p, cin)
+	carry = b.Or(g, t)
+	return sum, carry
+}
+
+// rippleAdd returns sum = x + y + cin as a bus of len(x) bits plus the
+// carry out. x and y must have equal widths. Pass b.Const0() for no
+// carry in.
+func rippleAdd(b *netlist.Builder, x, y Bus, cin netlist.NetID) (sum Bus, cout netlist.NetID) {
+	if len(x) != len(y) {
+		panic("circuits: rippleAdd width mismatch")
+	}
+	sum = make(Bus, len(x))
+	c := cin
+	for i := range x {
+		sum[i], c = fullAdder(b, x[i], y[i], c)
+	}
+	return sum, c
+}
+
+// rippleSub returns diff = x − y (two's complement) plus a "no borrow"
+// flag: geq is true exactly when x >= y as unsigned integers.
+func rippleSub(b *netlist.Builder, x, y Bus) (diff Bus, geq netlist.NetID) {
+	ny := make(Bus, len(y))
+	for i := range y {
+		ny[i] = b.Not(y[i])
+	}
+	return rippleAdd(b, x, ny, b.Const1())
+}
+
+// geBus returns a net that is true when x >= y (unsigned). Equal widths
+// required.
+func geBus(b *netlist.Builder, x, y Bus) netlist.NetID {
+	_, geq := rippleSub(b, x, y)
+	return geq
+}
+
+// constBus materializes the constant k as a width-bit bus of tie nets.
+func constBus(b *netlist.Builder, k uint64, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		if k>>i&1 == 1 {
+			bus[i] = b.Const1()
+		} else {
+			bus[i] = b.Const0()
+		}
+	}
+	return bus
+}
+
+// addConst returns x + k (mod 2^len(x)) and the carry out.
+func addConst(b *netlist.Builder, x Bus, k uint64) (Bus, netlist.NetID) {
+	return rippleAdd(b, x, constBus(b, k, len(x)), b.Const0())
+}
+
+// geConst returns a net that is true when x >= k (unsigned). k must fit
+// in len(x) bits.
+func geConst(b *netlist.Builder, x Bus, k uint64) netlist.NetID {
+	if len(x) < 64 && k >= 1<<uint(len(x)) {
+		panic("circuits: geConst constant wider than bus")
+	}
+	return geBus(b, x, constBus(b, k, len(x)))
+}
+
+// zeroExtend returns x widened to width bits with constant-zero nets.
+func zeroExtend(b *netlist.Builder, x Bus, width int) Bus {
+	if len(x) >= width {
+		return x[:width]
+	}
+	out := make(Bus, width)
+	copy(out, x)
+	for i := len(x); i < width; i++ {
+		out[i] = b.Const0()
+	}
+	return out
+}
+
+// andRow masks every bit of x with bit: the partial-product row of an
+// array multiplier.
+func andRow(b *netlist.Builder, x Bus, bit netlist.NetID) Bus {
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.And(x[i], bit)
+	}
+	return out
+}
+
+// muxBus returns sel ? d1 : d0, bit by bit. Equal widths required.
+func muxBus(b *netlist.Builder, d0, d1 Bus, sel netlist.NetID) Bus {
+	if len(d0) != len(d1) {
+		panic("circuits: muxBus width mismatch")
+	}
+	out := make(Bus, len(d0))
+	for i := range d0 {
+		out[i] = b.Mux(d0[i], d1[i], sel)
+	}
+	return out
+}
+
+// orTree reduces a bus to a single OR over all bits using a balanced tree.
+func orTree(b *netlist.Builder, x Bus) netlist.NetID {
+	switch len(x) {
+	case 0:
+		return b.Const0()
+	case 1:
+		return x[0]
+	}
+	mid := len(x) / 2
+	return b.Or(orTree(b, x[:mid]), orTree(b, x[mid:]))
+}
+
+// isZero returns a net that is true when every bit of x is 0.
+func isZero(b *netlist.Builder, x Bus) netlist.NetID {
+	return b.Not(orTree(b, x))
+}
+
+// shiftRightVar returns x >> amt (logical) where amt is a bus of select
+// bits; stage k shifts by 2^k when amt[k] is set. Bits shifted in are 0.
+func shiftRightVar(b *netlist.Builder, x Bus, amt Bus) Bus {
+	cur := x
+	for k := 0; k < len(amt); k++ {
+		sh := 1 << k
+		next := make(Bus, len(cur))
+		for i := range cur {
+			var shifted netlist.NetID
+			if i+sh < len(cur) {
+				shifted = cur[i+sh]
+			} else {
+				shifted = b.Const0()
+			}
+			next[i] = b.Mux(cur[i], shifted, amt[k])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// shiftLeftVar returns x << amt (logical), same staging as shiftRightVar.
+func shiftLeftVar(b *netlist.Builder, x Bus, amt Bus) Bus {
+	cur := x
+	for k := 0; k < len(amt); k++ {
+		sh := 1 << k
+		next := make(Bus, len(cur))
+		for i := range cur {
+			var shifted netlist.NetID
+			if i-sh >= 0 {
+				shifted = cur[i-sh]
+			} else {
+				shifted = b.Const0()
+			}
+			next[i] = b.Mux(cur[i], shifted, amt[k])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// lzc returns the leading-zero count of x (counting from the MSB, i.e.
+// x[len(x)-1] downwards) as a bus of countBits(len(x)) bits. The width of
+// x must be a power of two; callers pad with constant zeros at the LSB
+// end, which adds exactly the pad width to the count. When x is all
+// zeros the count output is len(x)-1 concatenated behavior of the
+// recursion (callers must guard with an isZero check).
+func lzc(b *netlist.Builder, x Bus) Bus {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("circuits: lzc width must be a power of two")
+	}
+	if n == 2 {
+		// count = 1 bit: 1 when MSB is 0.
+		return Bus{b.Not(x[1])}
+	}
+	half := n / 2
+	lo, hi := x[:half], x[half:]
+	hiZero := isZero(b, hi)
+	cntHi := lzc(b, hi)
+	cntLo := lzc(b, lo)
+	// If hi is all zero: count = half + lzc(lo) → MSB of count is 1 and the
+	// low bits come from lo; otherwise count = lzc(hi) with MSB 0.
+	low := muxBus(b, cntHi, cntLo, hiZero)
+	return append(low, hiZero)
+}
+
+// orBus returns the bitwise OR of two equal-width buses.
+func orBus(b *netlist.Builder, x, y Bus) Bus {
+	if len(x) != len(y) {
+		panic("circuits: orBus width mismatch")
+	}
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.Or(x[i], y[i])
+	}
+	return out
+}
+
+// andBusWith masks every bit of x with m.
+func andBusWith(b *netlist.Builder, x Bus, m netlist.NetID) Bus {
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.And(x[i], m)
+	}
+	return out
+}
+
+// xorBusWith XORs every bit of x with m (conditional inversion).
+func xorBusWith(b *netlist.Builder, x Bus, m netlist.NetID) Bus {
+	out := make(Bus, len(x))
+	for i := range x {
+		out[i] = b.Xor(x[i], m)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package circuits
+
+import (
+	"tevot/internal/netlist"
+)
+
+// fpFields splits a 32-bit encoding bus into sign, exponent field,
+// fraction field, the 24-bit mantissa with hidden bit (subnormals flushed
+// to zero), and the 31-bit magnitude used for operand ordering.
+func fpFields(b *netlist.Builder, x Bus) (sign netlist.NetID, exp, man, mag Bus) {
+	sign = x[31]
+	exp = Bus(x[23:31])
+	frac := Bus(x[0:23])
+	nz := b.Not(isZero(b, exp)) // exponent field nonzero: operand not flushed
+	man = append(andBusWith(b, frac, nz), nz)
+	mag = andBusWith(b, Bus(x[0:31]), nz)
+	return sign, exp, man, mag
+}
+
+// fpPack produces the 32 output nets from sign, a 10-bit two's-complement
+// exponent, the normalized 24-bit mantissa, and the nonzero flag. It
+// implements the same flush-to-zero / saturate-to-infinity policy as
+// fpref.pack and returns the output bus LSB-first (bit 31 = sign).
+func fpPack(b *netlist.Builder, sign netlist.NetID, exp10, mant Bus, nz netlist.NetID) Bus {
+	negE := exp10[9]
+	le0 := b.Or(negE, isZero(b, exp10))
+	flush := b.Or(b.Not(nz), le0)
+	ge255 := b.And(geConst(b, exp10, 255), b.Not(negE))
+	inf := b.And(ge255, b.Not(flush))
+	keep := b.Not(b.Or(flush, inf))
+
+	out := make(Bus, 32)
+	manOut := andBusWith(b, mant[:23], keep)
+	copy(out[0:23], manOut)
+	for i := 0; i < 8; i++ {
+		out[23+i] = b.Or(b.And(exp10[i], keep), inf)
+	}
+	out[31] = b.And(sign, nz)
+	return out
+}
+
+// NewFPAdder builds the gate-level IEEE-754 single-precision adder FU
+// (truncating, flush-to-zero; see internal/fpref for the exact contract).
+// Inputs a and b are 32-bit encodings; the output is the 32-bit sum
+// encoding. The datapath is the textbook one: magnitude compare and swap,
+// exponent-difference alignment through a barrel shifter, 25-bit
+// add/subtract, leading-zero normalization, pack.
+func NewFPAdder() *netlist.Netlist {
+	b := netlist.NewBuilder("fp_add32")
+	ain := Bus(b.InputBus("a", 32))
+	bin := Bus(b.InputBus("b", 32))
+
+	sa, ea, ma, magA := fpFields(b, ain)
+	sb, eb, mb, magB := fpFields(b, bin)
+
+	// Operand ordering: swap when |b| > |a| (ties keep a large).
+	swap := b.Not(geBus(b, magA, magB))
+	sL := b.Mux(sa, sb, swap)
+	sS := b.Mux(sb, sa, swap)
+	eL := muxBus(b, ea, eb, swap)
+	eS := muxBus(b, eb, ea, swap)
+	mL := muxBus(b, ma, mb, swap)
+	mS := muxBus(b, mb, ma, swap)
+
+	// Alignment: shift the small mantissa right by the exponent gap.
+	diff, _ := rippleSub(b, eL, eS) // 8 bits, non-negative by ordering
+	aligned := shiftRightVar(b, mS, diff[0:5])
+	big := orTree(b, diff[5:8]) // gap >= 32: contribution vanishes
+	aligned = andBusWith(b, aligned, b.Not(big))
+
+	// Effective operation: add when signs agree, else subtract (the large
+	// operand dominates, so the difference is non-negative).
+	op := b.Xor(sL, sS)
+	mLx := zeroExtend(b, mL, 25)
+	mSx := xorBusWith(b, zeroExtend(b, aligned, 25), op)
+	r, _ := rippleAdd(b, mLx, mSx, op)
+
+	nz := orTree(b, r)
+
+	// Normalization: one-position right shift on mantissa overflow, or a
+	// leading-zero-count left shift otherwise.
+	ovf := r[24]
+	mantOvf := Bus(r[1:25])
+	r24 := Bus(r[0:24])
+	padded := make(Bus, 32) // lzc wants a power-of-two width; pad LSBs
+	for i := 0; i < 8; i++ {
+		padded[i] = b.Const0()
+	}
+	copy(padded[8:], r24)
+	lz := lzc(b, padded) // 5 bits; <= 23 whenever r24 is nonzero
+	mantNorm := shiftLeftVar(b, r24, lz)
+	mant := muxBus(b, mantNorm, mantOvf, ovf)
+
+	eL10 := zeroExtend(b, eL, 10)
+	eOvf, _ := addConst(b, eL10, 1)
+	eNorm, _ := rippleSub(b, eL10, zeroExtend(b, lz, 10))
+	exp10 := muxBus(b, eNorm, eOvf, ovf)
+
+	b.NamedOutputBus("y", fpPack(b, sL, exp10, mant, nz))
+	return b.MustBuild()
+}

@@ -1,0 +1,43 @@
+package circuits
+
+import (
+	"tevot/internal/netlist"
+)
+
+// NewFPMultiplier builds the gate-level IEEE-754 single-precision
+// multiplier FU (truncating, flush-to-zero; see internal/fpref for the
+// exact contract). The mantissa core is a full 24×24 ripple-carry array
+// multiplier; the exponent path is 10-bit two's-complement arithmetic
+// with flush/saturate handling shared with the adder via fpPack.
+func NewFPMultiplier() *netlist.Netlist {
+	b := netlist.NewBuilder("fp_mul32")
+	ain := Bus(b.InputBus("a", 32))
+	bin := Bus(b.InputBus("b", 32))
+
+	sa, ea, ma, _ := fpFields(b, ain)
+	sb, eb, mb, _ := fpFields(b, bin)
+	za := b.Not(ma[23]) // hidden bit clear <=> operand flushed to zero
+	zb := b.Not(mb[23])
+
+	sign := b.Xor(sa, sb)
+
+	// 48-bit mantissa product; bit 47 or 46 is set for nonzero operands.
+	p := mulRows(b, ma, mb, 48)
+	top := p[47]
+	mant := muxBus(b, Bus(p[23:47]), Bus(p[24:48]), top)
+
+	// exponent = ea + eb - 127 + top, in 10-bit two's complement
+	// (adding 897 ≡ -127 mod 1024).
+	eSum, _ := rippleAdd(b, zeroExtend(b, ea, 10), zeroExtend(b, eb, 10), b.Const0())
+	eBiased, _ := addConst(b, eSum, 897)
+	exp10, _ := rippleAdd(b, eBiased, zeroExtend(b, Bus{top}, 10), b.Const0())
+
+	// A zero operand forces a signed-zero result regardless of exponent.
+	nz := b.Not(b.Or(za, zb))
+	out := fpPack(b, sign, exp10, mant, nz)
+	// fpPack clears the sign for nz == 0, but multiplication of signed
+	// zeros keeps the XOR sign (e.g. -x * 0 = -0): restore it.
+	out[31] = sign
+	b.NamedOutputBus("y", out)
+	return b.MustBuild()
+}

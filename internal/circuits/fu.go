@@ -1,0 +1,125 @@
+package circuits
+
+import (
+	"fmt"
+	"math"
+
+	"tevot/internal/fpref"
+	"tevot/internal/netlist"
+)
+
+// FU identifies one of the four functional units the paper models.
+type FU int
+
+const (
+	IntAdd32 FU = iota // 32-bit integer adder (ripple-carry)
+	IntMul32           // 32-bit integer multiplier (truncated array)
+	FPAdd32            // IEEE-754 single-precision adder
+	FPMul32            // IEEE-754 single-precision multiplier
+)
+
+// AllFUs lists every functional unit, in the paper's reporting order.
+var AllFUs = []FU{IntAdd32, FPAdd32, IntMul32, FPMul32}
+
+var fuNames = map[FU]string{
+	IntAdd32: "INT_ADD",
+	IntMul32: "INT_MUL",
+	FPAdd32:  "FP_ADD",
+	FPMul32:  "FP_MUL",
+}
+
+func (f FU) String() string {
+	if s, ok := fuNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("FU(%d)", int(f))
+}
+
+// ParseFU maps a name like "INT_ADD" (as printed by String) back to a FU.
+func ParseFU(s string) (FU, error) {
+	for f, name := range fuNames {
+		if name == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("circuits: unknown functional unit %q", s)
+}
+
+// Build generates the gate-level netlist of the functional unit. Every FU
+// has two 32-bit operand buses (64 primary inputs: a[0..31] then b[0..31],
+// LSB first) and one 32-bit result bus.
+func (f FU) Build() (*netlist.Netlist, error) {
+	switch f {
+	case IntAdd32:
+		return NewRippleAdder(32), nil
+	case IntMul32:
+		return NewTruncMultiplier(32), nil
+	case FPAdd32:
+		return NewFPAdder(), nil
+	case FPMul32:
+		return NewFPMultiplier(), nil
+	}
+	return nil, fmt.Errorf("circuits: unknown functional unit %d", int(f))
+}
+
+// Golden computes the FU's reference result in software. For the FP units
+// this is the bit-exact truncating model from internal/fpref, not Go
+// float32 arithmetic.
+func (f FU) Golden(a, b uint32) uint32 {
+	switch f {
+	case IntAdd32:
+		return a + b
+	case IntMul32:
+		return a * b
+	case FPAdd32:
+		return fpref.Add(a, b)
+	case FPMul32:
+		return fpref.Mul(a, b)
+	}
+	panic("circuits: unknown functional unit")
+}
+
+// IsFloat reports whether the FU interprets its operands as IEEE-754
+// single-precision encodings.
+func (f FU) IsFloat() bool { return f == FPAdd32 || f == FPMul32 }
+
+// OperandBits is the total number of primary inputs of every FU.
+const OperandBits = 64
+
+// ResultBits is the number of primary outputs of every FU.
+const ResultBits = 32
+
+// EncodeOperands expands the operand pair into the 64 primary-input
+// values: a's bits LSB-first, then b's.
+func EncodeOperands(a, b uint32) []bool {
+	out := make([]bool, OperandBits)
+	EncodeOperandsInto(a, b, out)
+	return out
+}
+
+// EncodeOperandsInto is EncodeOperands into a caller-provided slice of
+// length OperandBits.
+func EncodeOperandsInto(a, b uint32, dst []bool) {
+	for i := 0; i < 32; i++ {
+		dst[i] = a>>i&1 == 1
+		dst[32+i] = b>>i&1 == 1
+	}
+}
+
+// DecodeResult packs 32 output values (LSB first) into a uint32.
+func DecodeResult(bits []bool) uint32 {
+	var v uint32
+	for i := 0; i < 32; i++ {
+		if bits[i] {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// Float32FromBits converts an FU result encoding to a float32 (plain
+// IEEE-754 reinterpretation).
+func Float32FromBits(v uint32) float32 { return math.Float32frombits(v) }
+
+// BitsFromFloat32 converts a float32 operand to its FU encoding.
+func BitsFromFloat32(f float32) uint32 { return math.Float32bits(f) }

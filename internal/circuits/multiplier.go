@@ -1,0 +1,109 @@
+package circuits
+
+import (
+	"fmt"
+
+	"tevot/internal/netlist"
+)
+
+// mulRows builds the ripple-carry array-multiplier core for x × y and
+// returns the product bus. When outWidth < len(x)+len(y) the array is
+// truncated: columns at and above outWidth are never generated, exactly
+// as a synthesized "lower half" multiplier would be.
+//
+// The structure is the classic row-ripple array: a running sum S holds
+// product bits [i, i+len(x)) after consuming row i; its low bit is final
+// and retired to the product at each step.
+func mulRows(b *netlist.Builder, x, y Bus, outWidth int) Bus {
+	full := len(x) + len(y)
+	if outWidth > full {
+		panic("circuits: multiplier output wider than full product")
+	}
+	truncated := outWidth < full
+	if truncated && (outWidth != len(x) || outWidth != len(y)) {
+		// The truncated row scheme retires one product bit per row and
+		// drops carries only at the outWidth column; that bookkeeping is
+		// only valid for square low-half multipliers.
+		panic("circuits: truncated multiplier requires outWidth == len(x) == len(y)")
+	}
+	if !truncated && len(y) < 2 {
+		panic("circuits: full multiplier requires at least 2 multiplier bits")
+	}
+	prod := make(Bus, outWidth)
+
+	// Row 0.
+	w0 := len(x)
+	if truncated && w0 > outWidth {
+		w0 = outWidth
+	}
+	s := andRow(b, x[:w0], y[0])
+	prod[0] = s[0]
+
+	var lastCout netlist.NetID
+	rows := len(y)
+	if truncated && rows > outWidth {
+		rows = outWidth
+	}
+	for i := 1; i < rows; i++ {
+		var w int // row adder width
+		if truncated {
+			w = outWidth - i
+			if w > len(x) {
+				w = len(x)
+			}
+		} else {
+			w = len(x)
+		}
+		row := andRow(b, x[:w], y[i])
+		// Shifted previous sum: drop the retired low bit; extend with the
+		// previous carry (full arrays) or a constant zero (truncated top).
+		var t Bus
+		if truncated {
+			t = zeroExtend(b, s[1:], w)
+		} else {
+			t = make(Bus, w)
+			copy(t, s[1:])
+			if i == 1 {
+				t[w-1] = b.Const0()
+			} else {
+				t[w-1] = lastCout
+			}
+		}
+		s, lastCout = rippleAdd(b, t, row, b.Const0())
+		prod[i] = s[0]
+	}
+	if !truncated {
+		copy(prod[rows:], s[1:])
+		prod[full-1] = lastCout
+	}
+	return prod
+}
+
+// NewTruncMultiplier builds a width×width multiplier FU producing the low
+// width bits of the product (C-language integer multiply semantics).
+func NewTruncMultiplier(width int) *netlist.Netlist {
+	if width < 2 {
+		panic("circuits: multiplier width must be at least 2")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("int_mul%d_array", width))
+	a := Bus(b.InputBus("a", width))
+	c := Bus(b.InputBus("b", width))
+	p := mulRows(b, a, c, width)
+	b.NamedOutputBus("p", p)
+	return b.MustBuild()
+}
+
+// NewFullMultiplier builds a width×width multiplier producing the full
+// 2·width-bit product. It is the mantissa core of the FP multiplier and is
+// exported for direct testing.
+func NewFullMultiplier(width int) *netlist.Netlist {
+	if width < 2 {
+		panic("circuits: multiplier width must be at least 2")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("int_mulfull%d_array", width))
+	a := Bus(b.InputBus("a", width))
+	c := Bus(b.InputBus("b", width))
+	p := mulRows(b, a, c, 2*width)
+	b.NamedOutputBus("p", p)
+	return b.MustBuild()
+}

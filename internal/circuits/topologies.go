@@ -1,0 +1,125 @@
+package circuits
+
+import (
+	"fmt"
+
+	"tevot/internal/netlist"
+)
+
+// This file provides alternative datapath topologies for the same
+// arithmetic functions. They are not used by the default FU registry —
+// the paper models one implementation per unit — but they power the
+// topology ablations: how the shape of the delay distribution (and so
+// the value of workload-aware error modeling) depends on circuit
+// structure.
+
+// NewCarrySelectAdder builds a width-bit carry-select adder with the
+// given block size: each block computes both carry-in cases and selects
+// with the incoming carry, cutting the worst-case path from O(width) to
+// O(width/block + block).
+func NewCarrySelectAdder(width, block int) *netlist.Netlist {
+	if width < 1 || block < 1 {
+		panic("circuits: invalid carry-select geometry")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("int_add%d_csel%d", width, block))
+	a := Bus(b.InputBus("a", width))
+	c := Bus(b.InputBus("b", width))
+	sum := make(Bus, width)
+
+	carry := b.Const0()
+	for lo := 0; lo < width; lo += block {
+		hi := lo + block
+		if hi > width {
+			hi = width
+		}
+		aBlk, bBlk := a[lo:hi], c[lo:hi]
+		if lo == 0 {
+			// First block: the carry-in is known (0), no selection.
+			s, cout := rippleAdd(b, aBlk, bBlk, carry)
+			copy(sum[lo:hi], s)
+			carry = cout
+			continue
+		}
+		s0, c0 := rippleAdd(b, aBlk, bBlk, b.Const0())
+		s1, c1 := rippleAdd(b, aBlk, bBlk, b.Const1())
+		copy(sum[lo:hi], muxBus(b, s0, s1, carry))
+		carry = b.Mux(c0, c1, carry)
+	}
+	b.NamedOutputBus("s", sum)
+	return b.MustBuild()
+}
+
+// NewWallaceMultiplier builds a width×width multiplier producing the
+// full 2·width-bit product through a Wallace tree: the partial-product
+// matrix is reduced with 3:2 compressors (full adders) until every
+// column holds at most two bits, then a single ripple adder merges the
+// two rows. Depth is O(log width) in the reduction plus the final
+// carry chain — a very different glitch and delay profile from the
+// row-ripple array in NewFullMultiplier.
+func NewWallaceMultiplier(width int) *netlist.Netlist {
+	if width < 2 {
+		panic("circuits: multiplier width must be at least 2")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("int_mulfull%d_wallace", width))
+	a := Bus(b.InputBus("a", width))
+	c := Bus(b.InputBus("b", width))
+	out := 2 * width
+
+	// Partial-product matrix: columns[k] holds the bits of weight 2^k.
+	columns := make([][]netlist.NetID, out)
+	for i := 0; i < width; i++ {
+		for j := 0; j < width; j++ {
+			k := i + j
+			columns[k] = append(columns[k], b.And(a[i], c[j]))
+		}
+	}
+
+	// Reduce with 3:2 compressors (full adders) until every column has
+	// at most 2 bits. Each pass strictly shrinks any column with three
+	// or more bits, so the loop terminates.
+	for {
+		done := true
+		next := make([][]netlist.NetID, out)
+		for k := 0; k < out; k++ {
+			col := columns[k]
+			for len(col) >= 3 {
+				s, cy := fullAdder(b, col[0], col[1], col[2])
+				col = col[3:]
+				next[k] = append(next[k], s)
+				if k+1 < out {
+					next[k+1] = append(next[k+1], cy)
+				}
+			}
+			next[k] = append(next[k], col...)
+		}
+		columns = next
+		for k := 0; k < out; k++ {
+			if len(columns[k]) > 2 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	// Final carry-propagate add of the two remaining rows.
+	row0 := make(Bus, out)
+	row1 := make(Bus, out)
+	for k := 0; k < out; k++ {
+		switch len(columns[k]) {
+		case 0:
+			row0[k], row1[k] = b.Const0(), b.Const0()
+		case 1:
+			row0[k], row1[k] = columns[k][0], b.Const0()
+		case 2:
+			row0[k], row1[k] = columns[k][0], columns[k][1]
+		default:
+			panic("circuits: wallace reduction left a column above 2 bits")
+		}
+	}
+	sum, _ := rippleAdd(b, row0, row1, b.Const0())
+	b.NamedOutputBus("p", sum)
+	return b.MustBuild()
+}

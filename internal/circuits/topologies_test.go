@@ -1,0 +1,89 @@
+package circuits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCarrySelectAdderExhaustive6(t *testing.T) {
+	nl := NewCarrySelectAdder(6, 2)
+	for a := uint64(0); a < 64; a++ {
+		for b := uint64(0); b < 64; b++ {
+			if got, want := evalN(t, nl, 6, a, b), (a+b)&0x3f; got != want {
+				t.Fatalf("csel6: %d+%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCarrySelectAdder32Random(t *testing.T) {
+	nl := NewCarrySelectAdder(32, 4)
+	f := func(a, b uint32) bool {
+		in := EncodeOperands(a, b)
+		out, err := nl.Eval(in)
+		if err != nil {
+			return false
+		}
+		return DecodeResult(out) == a+b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallaceMultiplierExhaustive5(t *testing.T) {
+	nl := NewWallaceMultiplier(5)
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			if got, want := evalN(t, nl, 5, a, b), a*b; got != want {
+				t.Fatalf("wallace5: %d*%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestWallaceMultiplier16Random(t *testing.T) {
+	nl := NewWallaceMultiplier(16)
+	f := func(a, b uint16) bool {
+		got := evalN(t, nl, 16, uint64(a), uint64(b))
+		return got == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWallaceShallowerThanArray: the whole point of the tree topology.
+func TestWallaceShallowerThanArray(t *testing.T) {
+	array := NewFullMultiplier(16)
+	wallace := NewWallaceMultiplier(16)
+	da, err := array.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := wallace.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw >= da {
+		t.Errorf("Wallace depth (%d) should be below array depth (%d)", dw, da)
+	}
+	t.Logf("16x16 full product: array depth %d, wallace depth %d", da, dw)
+}
+
+// TestCarrySelectShallowerThanRipple mirrors the adder topology claim.
+func TestCarrySelectShallowerThanRipple(t *testing.T) {
+	rca := NewRippleAdder(32)
+	csel := NewCarrySelectAdder(32, 4)
+	dr, err := rca.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := csel.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc >= dr {
+		t.Errorf("carry-select depth (%d) should be below ripple depth (%d)", dc, dr)
+	}
+}

@@ -1,0 +1,80 @@
+// Package core implements TEVoT itself: the dynamic-timing-analysis
+// orchestration (Fig. 2's first phase), feature extraction and model
+// training (second phase), prediction and evaluation against the paper's
+// three baselines (third phase), and the application-quality study.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tevot/internal/cells"
+)
+
+// Grid is the operating-condition sweep of the paper's Table I: a
+// voltage range, a temperature range, and the clock speedups applied on
+// top of each corner's error-free baseline clock.
+type Grid struct {
+	VStart, VEnd, VStep float64
+	TStart, TEnd, TStep float64
+	// Speedups are fractional clock-frequency increases over the
+	// fastest error-free clock (e.g. 0.05 = 5 % faster clock).
+	Speedups []float64
+}
+
+// TableIGrid returns the paper's exact grid: 20 voltage points from
+// 0.81 V to 1.00 V in 0.01 V steps, 5 temperature points from 0 °C to
+// 100 °C in 25 °C steps (100 corners), and speedups of 5 %, 10 %, 15 %.
+func TableIGrid() Grid {
+	return Grid{
+		VStart: 0.81, VEnd: 1.00, VStep: 0.01,
+		TStart: 0, TEnd: 100, TStep: 25,
+		Speedups: []float64{0.05, 0.10, 0.15},
+	}
+}
+
+// Corners enumerates the grid's (V, T) pairs, voltage-major.
+func (g Grid) Corners() []cells.Corner {
+	var corners []cells.Corner
+	// Walk in integer steps to dodge floating-point drift.
+	nv := int(math.Round((g.VEnd-g.VStart)/g.VStep)) + 1
+	nt := int(math.Round((g.TEnd-g.TStart)/g.TStep)) + 1
+	for vi := 0; vi < nv; vi++ {
+		v := g.VStart + float64(vi)*g.VStep
+		for ti := 0; ti < nt; ti++ {
+			t := g.TStart + float64(ti)*g.TStep
+			corners = append(corners, cells.Corner{V: round3(v), T: round3(t)})
+		}
+	}
+	return corners
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// Validate checks the grid is well-formed.
+func (g Grid) Validate() error {
+	if g.VStep <= 0 || g.TStep <= 0 {
+		return fmt.Errorf("core: grid steps must be positive")
+	}
+	if g.VEnd < g.VStart || g.TEnd < g.TStart {
+		return fmt.Errorf("core: grid ranges inverted")
+	}
+	for _, s := range g.Speedups {
+		if s <= 0 || s >= 1 {
+			return fmt.Errorf("core: speedup %v outside (0,1)", s)
+		}
+	}
+	return nil
+}
+
+// Fig3Corners returns the 9-corner subset the paper plots in Fig. 3:
+// V in {0.81, 0.90, 1.00} crossed with T in {0, 50, 100}.
+func Fig3Corners() []cells.Corner {
+	var corners []cells.Corner
+	for _, v := range []float64{0.81, 0.90, 1.00} {
+		for _, t := range []float64{0, 50, 100} {
+			corners = append(corners, cells.Corner{V: v, T: t})
+		}
+	}
+	return corners
+}

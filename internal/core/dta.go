@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/workload"
+)
+
+// Trace is the outcome of dynamic timing analysis for one functional
+// unit, corner, and operand stream: the per-cycle dynamic delays and,
+// for each clock period of interest, the ground-truth timing errors
+// (sampled-vs-settled mismatch, as a register bank would experience).
+//
+// Cycle i applies Stream.Pairs[i+1] with the circuit settled at
+// Stream.Pairs[i]; there are Stream.Len()-1 cycles.
+type Trace struct {
+	FU     circuits.FU
+	Corner cells.Corner
+	Stream *workload.Stream
+
+	// Delays[i] is cycle i's dynamic delay in ps.
+	Delays []float64
+	// ClockPeriods are the capture periods (ps) Errors was evaluated at.
+	ClockPeriods []float64
+	// Errors[k][i] reports whether cycle i mis-samples at ClockPeriods[k].
+	Errors [][]bool
+
+	// StaticDelay is the STA critical-path delay at the corner.
+	StaticDelay float64
+	// MaxDelay is the largest observed dynamic delay.
+	MaxDelay float64
+	// Events is the total number of simulation events (effort metric).
+	Events int
+}
+
+// Cycles returns the number of simulated cycles.
+func (t *Trace) Cycles() int { return len(t.Delays) }
+
+// TER returns the measured timing-error rate at clock index k.
+func (t *Trace) TER(k int) float64 {
+	if k < 0 || k >= len(t.Errors) || len(t.Errors[k]) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range t.Errors[k] {
+		if e {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Errors[k]))
+}
+
+// MeanDelay returns the average dynamic delay (the quantity the paper
+// plots in Fig. 3).
+func (t *Trace) MeanDelay() float64 {
+	if len(t.Delays) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, d := range t.Delays {
+		s += d
+	}
+	return s / float64(len(t.Delays))
+}
+
+// Characterize runs back-annotated gate-level simulation of the unit at
+// a corner over the stream — the paper's DTA phase. clocks lists the
+// capture periods (ps) at which ground-truth errors are evaluated; it
+// may be empty when only delays are needed (e.g. Fig. 3).
+func Characterize(u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64) (*Trace, error) {
+	if s.Len() < 2 {
+		return nil, fmt.Errorf("core: stream %q has %d pairs; need at least 2", s.Name, s.Len())
+	}
+	static, err := u.Static(corner)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.NewRunner(corner)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Len() - 1
+	tr := &Trace{
+		FU:           u.FU,
+		Corner:       corner,
+		Stream:       s,
+		Delays:       make([]float64, n),
+		ClockPeriods: append([]float64(nil), clocks...),
+		Errors:       make([][]bool, len(clocks)),
+		StaticDelay:  static.Delay,
+	}
+	for k := range tr.Errors {
+		tr.Errors[k] = make([]bool, n)
+	}
+	prev := make([]bool, circuits.OperandBits)
+	cur := make([]bool, circuits.OperandBits)
+	circuits.EncodeOperandsInto(s.Pairs[0].A, s.Pairs[0].B, prev)
+	for i := 0; i < n; i++ {
+		circuits.EncodeOperandsInto(s.Pairs[i+1].A, s.Pairs[i+1].B, cur)
+		var cy, err = r.Cycle(prev, cur)
+		if err != nil {
+			return nil, err
+		}
+		tr.Delays[i] = cy.Delay
+		tr.Events += cy.Events
+		if cy.Delay > tr.MaxDelay {
+			tr.MaxDelay = cy.Delay
+		}
+		init := r.InitialOutputs()
+		for k, tclk := range clocks {
+			tr.Errors[k][i] = cy.ErrorAt(init, tclk)
+		}
+		prev = nil // streaming mode: the runner keeps its settled state
+	}
+	return tr, nil
+}
+
+// CharacterizeWithSpeedups is Characterize with the capture periods
+// derived from the unit's error-free base clock at the corner:
+// period_s = base / (1 + s) for each fractional speedup s.
+func CharacterizeWithSpeedups(u *FUnit, corner cells.Corner, s *workload.Stream, speedups []float64) (*Trace, error) {
+	clocks, err := u.ClockPeriods(corner, speedups)
+	if err != nil {
+		return nil, err
+	}
+	return Characterize(u, corner, s, clocks)
+}

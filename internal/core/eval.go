@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"tevot/internal/ml"
+)
+
+// Evaluation is one model's score on one (trace, clock) combination.
+type Evaluation struct {
+	Model    string
+	Clock    float64 // ps
+	Accuracy float64 // Eq. 4: matched cycles / total cycles
+	TERTrue  float64 // ground-truth timing-error rate
+	TERPred  float64 // predicted timing-error rate
+}
+
+// EvaluateAt scores a predictor against the ground truth recorded in a
+// characterization trace at clock index k — the paper's Eq. 4.
+func EvaluateAt(p ErrorPredictor, tr *Trace, k int) (Evaluation, error) {
+	if k < 0 || k >= len(tr.ClockPeriods) {
+		return Evaluation{}, fmt.Errorf("core: clock index %d out of range (%d clocks)", k, len(tr.ClockPeriods))
+	}
+	tclk := tr.ClockPeriods[k]
+	pred, err := p.Errors(tr.Corner, tr.Stream, tclk)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	acc, err := ml.AccuracyBool(pred, tr.Errors[k])
+	if err != nil {
+		return Evaluation{}, err
+	}
+	np := 0
+	for _, e := range pred {
+		if e {
+			np++
+		}
+	}
+	return Evaluation{
+		Model:    p.Name(),
+		Clock:    tclk,
+		Accuracy: acc,
+		TERTrue:  tr.TER(k),
+		TERPred:  float64(np) / float64(len(pred)),
+	}, nil
+}
+
+// EvaluateAll scores a predictor across every clock of every trace and
+// returns the flat list plus the mean accuracy — the aggregation behind
+// each cell of the paper's Table III (averaged over operating conditions
+// and clock speeds).
+func EvaluateAll(p ErrorPredictor, traces []*Trace) ([]Evaluation, float64, error) {
+	var evals []Evaluation
+	sum := 0.0
+	for _, tr := range traces {
+		for k := range tr.ClockPeriods {
+			ev, err := EvaluateAt(p, tr, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			evals = append(evals, ev)
+			sum += ev.Accuracy
+		}
+	}
+	if len(evals) == 0 {
+		return nil, 0, fmt.Errorf("core: nothing to evaluate")
+	}
+	return evals, sum / float64(len(evals)), nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/netlist"
+	"tevot/internal/place"
+	"tevot/internal/sim"
+	"tevot/internal/sta"
+	"tevot/internal/workload"
+)
+
+// FUnit bundles a functional unit's gate-level netlist with cached
+// per-corner static timing results — the "synthesized design plus its
+// corner SDFs" of the paper's flow.
+type FUnit struct {
+	FU   circuits.FU
+	NL   *netlist.Netlist
+	Opts sta.Options
+
+	mu    sync.Mutex
+	cache map[cells.Corner]*sta.Result
+	base  map[cells.Corner]float64 // measured error-free clock overrides
+}
+
+// NewFUnit builds the netlist for fu with default STA options.
+func NewFUnit(fu circuits.FU) (*FUnit, error) {
+	nl, err := fu.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &FUnit{
+		FU:    fu,
+		NL:    nl,
+		Opts:  sta.DefaultOptions(),
+		cache: make(map[cells.Corner]*sta.Result),
+		base:  make(map[cells.Corner]float64),
+	}, nil
+}
+
+// Static returns (and caches) the STA result at a corner.
+func (u *FUnit) Static(c cells.Corner) (*sta.Result, error) {
+	u.mu.Lock()
+	res, ok := u.cache[c]
+	u.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := sta.Analyze(u.NL, c, u.Opts)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	u.cache[c] = res
+	u.mu.Unlock()
+	return res, nil
+}
+
+// NewRunner creates an event-driven simulator annotated for the corner.
+// Runners are not concurrency-safe; create one per goroutine.
+func (u *FUnit) NewRunner(c cells.Corner) (*sim.Runner, error) {
+	res, err := u.Static(c)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewRunner(u.NL, res.GateDelay)
+}
+
+// BaseClock returns the fastest error-free clock period (ps) at a
+// corner. If a measured base was installed with SetBaseClock (the max
+// dynamic delay observed during characterization — the paper's "fastest
+// error-free clock frequency" for the unit), that is used; otherwise the
+// STA critical-path delay is the conservative fallback. Speeding the
+// clock beyond this is what creates the timing errors TEVoT predicts.
+func (u *FUnit) BaseClock(c cells.Corner) (float64, error) {
+	u.mu.Lock()
+	base, ok := u.base[c]
+	u.mu.Unlock()
+	if ok {
+		return base, nil
+	}
+	res, err := u.Static(c)
+	if err != nil {
+		return 0, err
+	}
+	return res.Delay, nil
+}
+
+// SetBaseClock installs the measured error-free clock period at a
+// corner. Characterization workflows call this with the max dynamic
+// delay observed on the unit's rated (training) workload, so that the
+// grid's clock speedups actually produce the error tails the paper
+// studies (the STA bound is rarely sensitized and would leave most
+// corners error-free).
+func (u *FUnit) SetBaseClock(c cells.Corner, ps float64) error {
+	if ps <= 0 {
+		return fmt.Errorf("core: non-positive base clock %v", ps)
+	}
+	u.mu.Lock()
+	u.base[c] = ps
+	u.mu.Unlock()
+	return nil
+}
+
+// CalibrateBaseClock measures the unit's max dynamic delay over a stream
+// at a corner and installs it as the base clock, returning it. This is
+// the extra characterization pass that defines "fastest error-free
+// clock" in the paper's experimental setup.
+func (u *FUnit) CalibrateBaseClock(c cells.Corner, s *workload.Stream) (float64, error) {
+	tr, err := Characterize(u, c, s, nil)
+	if err != nil {
+		return 0, err
+	}
+	if tr.MaxDelay <= 0 {
+		return 0, fmt.Errorf("core: stream %q produced no output activity at %v", s.Name, c)
+	}
+	if err := u.SetBaseClock(c, tr.MaxDelay); err != nil {
+		return 0, err
+	}
+	return tr.MaxDelay, nil
+}
+
+// ClockPeriods returns the periods (ps) for the given fractional
+// speedups at a corner: base / (1 + s).
+func (u *FUnit) ClockPeriods(c cells.Corner, speedups []float64) ([]float64, error) {
+	base, err := u.BaseClock(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(speedups))
+	for i, s := range speedups {
+		if s <= 0 || s >= 1 {
+			return nil, fmt.Errorf("core: speedup %v outside (0,1)", s)
+		}
+		out[i] = base / (1 + s)
+	}
+	return out, nil
+}
+
+// EnableLayout places the netlist and switches the unit's timing to the
+// post-layout model: every gate's delay gains its placed interconnect
+// component. Cached per-corner timing is discarded (it was pre-layout),
+// as are measured base clocks.
+func (u *FUnit) EnableLayout() error {
+	pl, err := place.Place(u.NL)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.Opts.Placement = pl
+	u.Opts.Wire = place.DefaultWire()
+	u.cache = make(map[cells.Corner]*sta.Result)
+	u.base = make(map[cells.Corner]float64)
+	return nil
+}
+
+// NewFUnitFromNetlist wraps an externally built netlist (e.g. an
+// alternative adder topology for ablations) in a FUnit.
+func NewFUnitFromNetlist(fu circuits.FU, nl *netlist.Netlist) (*FUnit, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return &FUnit{
+		FU:    fu,
+		NL:    nl,
+		Opts:  sta.DefaultOptions(),
+		cache: make(map[cells.Corner]*sta.Result),
+		base:  make(map[cells.Corner]float64),
+	}, nil
+}
+
+// NewFUnits builds all four functional units.
+func NewFUnits() (map[circuits.FU]*FUnit, error) {
+	units := make(map[circuits.FU]*FUnit, len(circuits.AllFUs))
+	for _, fu := range circuits.AllFUs {
+		u, err := NewFUnit(fu)
+		if err != nil {
+			return nil, err
+		}
+		units[fu] = u
+	}
+	return units, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/workload"
+)
+
+func TestNewFUnits(t *testing.T) {
+	units, err := NewFUnits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 4 {
+		t.Fatalf("got %d units, want 4", len(units))
+	}
+	for _, fu := range circuits.AllFUs {
+		u, ok := units[fu]
+		if !ok || u.NL == nil {
+			t.Errorf("missing or empty unit for %v", fu)
+		}
+	}
+}
+
+func TestNewFUnitFromNetlist(t *testing.T) {
+	nl := circuits.NewCLAAdder(8)
+	u, err := NewFUnitFromNetlist(circuits.IntAdd32, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Static(cells.Corner{V: 0.9, T: 25}); err != nil {
+		t.Fatalf("Static on wrapped netlist: %v", err)
+	}
+}
+
+func TestCalibrateBaseClockErrors(t *testing.T) {
+	u, err := NewFUnit(circuits.IntAdd32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid corner propagates.
+	if _, err := u.CalibrateBaseClock(cells.Corner{V: 0.2, T: 25}, workload.RandomInt(50, 1)); err == nil {
+		t.Error("calibration accepted a sub-threshold corner")
+	}
+	// A stream that never changes inputs has no activity to measure.
+	quiet := &workload.Stream{Name: "quiet", Pairs: []workload.OperandPair{{A: 5, B: 5}, {A: 5, B: 5}}}
+	if _, err := u.CalibrateBaseClock(cells.Corner{V: 1, T: 25}, quiet); err == nil {
+		t.Error("calibration accepted a stream with no output activity")
+	}
+}
+
+func TestModelPointErrorAndTER(t *testing.T) {
+	u, err := NewFUnit(circuits.IntAdd32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells.Corner{V: 0.9, T: 50}
+	s := workload.RandomInt(401, 8)
+	tr, err := Characterize(u, c, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(circuits.IntAdd32, []*Trace{tr}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, prev := s.Pairs[1], s.Pairs[0]
+	d := m.PredictDelay(c, cur, prev)
+	if m.PredictError(c, cur, prev, d+1) {
+		t.Error("PredictError true above the predicted delay")
+	}
+	if !m.PredictError(c, cur, prev, d-1) {
+		t.Error("PredictError false below the predicted delay")
+	}
+	ter, err := m.TER(c, s, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ter < 0.99 {
+		t.Errorf("TER at a near-zero clock = %v, want ~1", ter)
+	}
+	ter, err = m.TER(c, s, tr.StaticDelay*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ter != 0 {
+		t.Errorf("TER at a huge clock = %v, want 0", ter)
+	}
+	if _, err := m.TER(c, &workload.Stream{Name: "x"}, 100); err == nil {
+		t.Error("TER accepted an empty stream")
+	}
+}

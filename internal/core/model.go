@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/features"
+	"tevot/internal/ml"
+	"tevot/internal/workload"
+)
+
+// Config controls TEVoT training.
+type Config struct {
+	// Forest configures the random-forest regressor. The zero value is
+	// replaced by the paper's default (10 trees, all features per split).
+	Forest ml.ForestConfig
+	// History includes the previous input vector x[t-1] in the features.
+	// Disabling it yields the TEVoT-NH ablation baseline.
+	History bool
+}
+
+// DefaultConfig returns the paper's configuration: random forest with 10
+// trees, full feature set including computation history.
+func DefaultConfig() Config {
+	return Config{Forest: ml.DefaultForestConfig(ml.Regression), History: true}
+}
+
+// Model is a trained TEVoT predictor for one functional unit. It
+// predicts the dynamic delay D[t] from {V, T, x[t], x[t-1]} and derives
+// timing errors by comparing the prediction with any clock period — the
+// paper's Eq. 2 formulation, reusable across clock speeds without
+// retraining.
+type Model struct {
+	FU      circuits.FU
+	History bool
+
+	forest *ml.RandomForest
+	dim    int
+}
+
+// Train fits a TEVoT model from one or more characterization traces
+// (typically spanning many operating corners, so the model learns the
+// condition dependence along with the workload dependence).
+func Train(fu circuits.FU, traces []*Trace, cfg Config) (*Model, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: no training traces")
+	}
+	if cfg.Forest.Trees == 0 {
+		cfg.Forest = ml.DefaultForestConfig(ml.Regression)
+	}
+	cfg.Forest.Tree.Mode = ml.Regression
+	dim := features.Dim
+	if !cfg.History {
+		dim = features.DimNH
+	}
+	var X [][]float64
+	var y []float64
+	for _, tr := range traces {
+		if tr.FU != fu {
+			return nil, fmt.Errorf("core: trace for %v mixed into %v training", tr.FU, fu)
+		}
+		pairs := tr.Stream.Pairs
+		for i := 0; i < tr.Cycles(); i++ {
+			var x []float64
+			if cfg.History {
+				x = features.Vector(tr.Corner, pairs[i+1], pairs[i])
+			} else {
+				x = features.VectorNH(tr.Corner, pairs[i+1])
+			}
+			X = append(X, x)
+			y = append(y, tr.Delays[i])
+		}
+	}
+	forest := ml.NewRandomForest(cfg.Forest)
+	if err := forest.Fit(X, y); err != nil {
+		return nil, err
+	}
+	return &Model{FU: fu, History: cfg.History, forest: forest, dim: dim}, nil
+}
+
+// PredictDelay estimates the dynamic delay (ps) of applying cur after
+// prev at the given corner. For history-free models prev is ignored.
+func (m *Model) PredictDelay(corner cells.Corner, cur, prev workload.OperandPair) float64 {
+	var x []float64
+	if m.History {
+		x = features.Vector(corner, cur, prev)
+	} else {
+		x = features.VectorNH(corner, cur)
+	}
+	return m.forest.Predict(x)
+}
+
+// PredictError classifies one cycle at clock period tclk (ps): erroneous
+// when the predicted delay exceeds the period.
+func (m *Model) PredictError(corner cells.Corner, cur, prev workload.OperandPair, tclk float64) bool {
+	return m.PredictDelay(corner, cur, prev) > tclk
+}
+
+// PredictErrors classifies every cycle of a stream at one clock period.
+// Cycle i applies s.Pairs[i+1] after s.Pairs[i]; the result has
+// s.Len()-1 entries.
+func (m *Model) PredictErrors(corner cells.Corner, s *workload.Stream, tclk float64) ([]bool, error) {
+	delays, err := m.PredictDelays(corner, s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(delays))
+	for i, d := range delays {
+		out[i] = d > tclk
+	}
+	return out, nil
+}
+
+// PredictDelays estimates the dynamic delay of every cycle of a stream.
+func (m *Model) PredictDelays(corner cells.Corner, s *workload.Stream) ([]float64, error) {
+	if s.Len() < 2 {
+		return nil, fmt.Errorf("core: stream %q too short", s.Name)
+	}
+	X := make([][]float64, s.Len()-1)
+	for i := 0; i < s.Len()-1; i++ {
+		if m.History {
+			X[i] = features.Vector(corner, s.Pairs[i+1], s.Pairs[i])
+		} else {
+			X[i] = features.VectorNH(corner, s.Pairs[i+1])
+		}
+	}
+	return m.forest.PredictBatch(X), nil
+}
+
+// FeatureImportance reports which features drive the model's delay
+// predictions: the forest's normalized impurity-decrease importance,
+// paired with human-readable names ("x[t].a31", "V", ...). This is the
+// interpretability that made the paper choose the random forest.
+func (m *Model) FeatureImportance() (names []string, importance []float64) {
+	if m.History {
+		names = features.Names()
+	} else {
+		names = features.NamesNH()
+	}
+	importance = m.forest.Importance()
+	if importance == nil {
+		importance = make([]float64, len(names))
+	}
+	return names, importance
+}
+
+// TopFeatures returns the k most important features, descending.
+func (m *Model) TopFeatures(k int) []string {
+	names, imp := m.FeatureImportance()
+	type fi struct {
+		name string
+		v    float64
+	}
+	all := make([]fi, len(names))
+	for i := range names {
+		all[i] = fi{names[i], imp[i]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}
+
+// TER derives the model's predicted timing-error rate for a stream at a
+// corner and clock period — the quantity injected into applications in
+// the quality study.
+func (m *Model) TER(corner cells.Corner, s *workload.Stream, tclk float64) (float64, error) {
+	errs, err := m.PredictErrors(corner, s, tclk)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range errs {
+		if e {
+			n++
+		}
+	}
+	return float64(n) / float64(len(errs)), nil
+}

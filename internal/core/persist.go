@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"tevot/internal/circuits"
+	"tevot/internal/ml"
+)
+
+// modelHeader is the metadata saved ahead of the forest.
+type modelHeader struct {
+	Version int
+	FU      int
+	History bool
+}
+
+const modelFormatVersion = 1
+
+// Save serializes a trained model (header + random forest) so it can be
+// distributed and reloaded without retraining.
+func (m *Model) Save(w io.Writer) error {
+	if m.forest == nil {
+		return fmt.Errorf("core: cannot save an untrained model")
+	}
+	hdr := modelHeader{Version: modelFormatVersion, FU: int(m.FU), History: m.History}
+	if err := gob.NewEncoder(w).Encode(hdr); err != nil {
+		return err
+	}
+	return m.forest.Save(w)
+}
+
+// LoadModel reads a model saved with Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var hdr modelHeader
+	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding model header: %w", err)
+	}
+	if hdr.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: unsupported model format version %d", hdr.Version)
+	}
+	fu := circuits.FU(hdr.FU)
+	known := false
+	for _, f := range circuits.AllFUs {
+		if f == fu {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("core: saved model references unknown FU %d", hdr.FU)
+	}
+	forest, err := ml.LoadForest(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{FU: fu, History: hdr.History, forest: forest}, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/workload"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	u, err := NewFUnit(circuits.IntAdd32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells.Corner{V: 0.88, T: 50}
+	s := workload.RandomInt(501, 9)
+	tr, err := Characterize(u, c, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(circuits.IntAdd32, []*Trace{tr}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.FU != m.FU || loaded.History != m.History {
+		t.Fatalf("metadata lost: %v/%v vs %v/%v", loaded.FU, loaded.History, m.FU, m.History)
+	}
+	test := workload.RandomInt(201, 10)
+	orig, err := m.PredictDelays(c, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := loaded.PredictDelays(c, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != back[i] {
+			t.Fatalf("cycle %d: prediction changed after round trip (%v != %v)", i, orig[i], back[i])
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("LoadModel accepted garbage")
+	}
+	if _, err := LoadModel(bytes.NewReader(nil)); err == nil {
+		t.Fatal("LoadModel accepted empty input")
+	}
+}
+
+func TestSaveUntrainedModelFails(t *testing.T) {
+	m := &Model{FU: circuits.IntAdd32}
+	if err := m.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save succeeded on an untrained model")
+	}
+}

@@ -1,0 +1,74 @@
+package features
+
+import (
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/workload"
+)
+
+func cellsCornerZero() cells.Corner { return cells.Corner{} }
+
+func pair(a, b uint32) workload.OperandPair { return workload.OperandPair{A: a, B: b} }
+
+func TestNamesLayout(t *testing.T) {
+	names := Names()
+	if len(names) != Dim {
+		t.Fatalf("Names has %d entries, want %d", len(names), Dim)
+	}
+	cases := map[int]string{
+		0:   "x[t].a0",
+		31:  "x[t].a31",
+		32:  "x[t].b0",
+		64:  "x[t-1].a0",
+		127: "x[t-1].b31",
+		128: "V",
+		129: "T",
+	}
+	for i, want := range cases {
+		if names[i] != want {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNamesNHLayout(t *testing.T) {
+	names := NamesNH()
+	if len(names) != DimNH {
+		t.Fatalf("NamesNH has %d entries, want %d", len(names), DimNH)
+	}
+	if names[0] != "x[t].a0" || names[63] != "x[t].b31" || names[64] != "V" || names[65] != "T" {
+		t.Errorf("NamesNH layout wrong: %v ... %v", names[0], names[65])
+	}
+}
+
+// TestNamesMatchVectorLayout cross-checks the labels against the actual
+// vector layout: setting one operand bit moves exactly the named entry.
+func TestNamesMatchVectorLayout(t *testing.T) {
+	names := Names()
+	c := Vector(cellsCornerZero(), pair(1<<7, 0), pair(0, 1<<3))
+	for i := range c {
+		switch names[i] {
+		case "x[t].a7":
+			if c[i] != 1 {
+				t.Errorf("x[t].a7 not set where named")
+			}
+		case "x[t-1].b3":
+			if c[i] != 1 {
+				t.Errorf("x[t-1].b3 not set where named")
+			}
+		case "V", "T":
+		default:
+			if c[i] != 0 {
+				t.Errorf("unexpected bit set at %q", names[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package fpref provides bit-exact software golden models of the
+// floating-point functional units in internal/circuits.
+//
+// The hardware units are IEEE-754 single-precision datapaths with the
+// simplifications a guardband-modeling study can afford (and which the
+// paper's FloPoCo-generated units also make configurable): truncation
+// instead of round-to-nearest, subnormal inputs flushed to zero,
+// underflow flushed to zero, overflow saturated to infinity, and no
+// NaN special-casing (NaN encodings flow through as ordinary values).
+// These models define that contract; the gate-level netlists are tested
+// bit-for-bit against them, and they against float32 arithmetic on
+// exactly-representable cases.
+package fpref
+
+import "math/bits"
+
+const (
+	signMask = 1 << 31
+	expMask  = 0xff << 23
+	manMask  = 1<<23 - 1
+	hidden   = 1 << 23
+)
+
+// unpack splits an encoding into sign, exponent field and 24-bit mantissa
+// with hidden bit; subnormals (exponent field 0) are flushed: mantissa 0.
+func unpack(x uint32) (sign uint32, exp uint32, man uint32) {
+	sign = x >> 31
+	exp = x >> 23 & 0xff
+	if exp == 0 {
+		return sign, 0, 0
+	}
+	return sign, exp, hidden | x&manMask
+}
+
+// pack assembles the final encoding from sign, a signed exponent and the
+// 24-bit normalized mantissa (hidden bit at position 23). Exponent <= 0
+// flushes to signed zero; exponent >= 255 saturates to signed infinity.
+// A zero mantissa always yields +0.
+func pack(sign uint32, exp int32, man uint32) uint32 {
+	if man == 0 {
+		return 0 // cancellation produces +0
+	}
+	if exp <= 0 {
+		return sign << 31 // underflow: flush to signed zero
+	}
+	if exp >= 255 {
+		return sign<<31 | expMask // overflow: signed infinity
+	}
+	return sign<<31 | uint32(exp)<<23 | man&manMask
+}
+
+// Add returns the sum of two single-precision encodings under the
+// truncating flush-to-zero semantics described in the package comment.
+func Add(a, b uint32) uint32 {
+	sa, ea, ma := unpack(a)
+	sb, eb, mb := unpack(b)
+
+	// Magnitude compare on the flushed operands; ties keep a on the
+	// "large" side. The netlist implements exactly this rule.
+	magA, magB := a&^uint32(signMask), b&^uint32(signMask)
+	if ma == 0 {
+		magA = 0
+	}
+	if mb == 0 {
+		magB = 0
+	}
+	var sL, eL, mL, eS, mS uint32
+	if magA >= magB {
+		sL, eL, mL, eS, mS = sa, ea, ma, eb, mb
+	} else {
+		sL, eL, mL, eS, mS = sb, eb, mb, ea, ma
+	}
+
+	diff := eL - eS // non-negative: magnitude order implies exponent order
+	var aligned uint32
+	if diff < 32 {
+		aligned = mS >> diff
+	}
+
+	var r uint32 // 25-bit result
+	if sa == sb || ma == 0 || mb == 0 {
+		// Same effective sign (a flushed-zero operand never flips the op:
+		// adding or subtracting zero is identical).
+		r = mL + aligned
+	} else {
+		r = mL - aligned // >= 0 because mag(L) >= mag(S)
+	}
+
+	if r == 0 {
+		return 0
+	}
+	var man uint32
+	var exp int32
+	if r&(1<<24) != 0 { // mantissa overflow: shift right, truncate
+		man = r >> 1
+		exp = int32(eL) + 1
+	} else {
+		lz := uint32(bits.LeadingZeros32(r)) - 8 // leading zeros within 24 bits
+		man = r << lz
+		exp = int32(eL) - int32(lz)
+	}
+	return pack(sL, exp, man)
+}
+
+// Mul returns the product of two single-precision encodings under the
+// truncating flush-to-zero semantics described in the package comment.
+func Mul(a, b uint32) uint32 {
+	sa, _, ma := unpack(a)
+	sb, _, mb := unpack(b)
+	sign := sa ^ sb
+	if ma == 0 || mb == 0 {
+		return sign << 31 // signed zero
+	}
+	ea := int32(a >> 23 & 0xff)
+	eb := int32(b >> 23 & 0xff)
+	p := uint64(ma) * uint64(mb) // 48-bit product, bit 46 or 47 set
+	var man uint32
+	var exp int32
+	if p&(1<<47) != 0 {
+		man = uint32(p >> 24)
+		exp = ea + eb - 127 + 1
+	} else {
+		man = uint32(p >> 23)
+		exp = ea + eb - 127
+	}
+	return pack(sign, exp, man)
+}

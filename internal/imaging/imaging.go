@@ -1,0 +1,232 @@
+// Package imaging is the application substrate for the paper's quality
+// study: grayscale images, the Sobel and Gaussian filters whose
+// arithmetic is routed through a pluggable functional-unit layer (so
+// operand streams can be profiled and timing errors injected at every FU
+// invocation, as the paper does inside Multi2Sim), PSNR, and a
+// deterministic synthetic image generator standing in for the Caltech-101
+// butterfly dataset.
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"tevot/internal/fpref"
+)
+
+// Image is a grayscale 8-bit image.
+type Image struct {
+	W, H int
+	Pix  []uint8 // row-major, len W*H
+}
+
+// New allocates a zeroed image.
+func New(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel value; coordinates are clamped to the border
+// (replicate padding, as the convolution kernels assume).
+func (m *Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= m.W {
+		x = m.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= m.H {
+		y = m.H - 1
+	}
+	return m.Pix[y*m.W+x]
+}
+
+// Set writes a pixel (in-bounds coordinates only).
+func (m *Image) Set(x, y int, v uint8) { m.Pix[y*m.W+x] = v }
+
+// Clone deep-copies the image.
+func (m *Image) Clone() *Image {
+	c := New(m.W, m.H)
+	copy(c.Pix, m.Pix)
+	return c
+}
+
+// ArithUnit is the functional-unit layer every filter computes through.
+// Implementations include the exact unit (golden arithmetic), recording
+// units (workload profiling), and error-injecting units.
+type ArithUnit interface {
+	IntAdd(a, b uint32) uint32
+	IntMul(a, b uint32) uint32
+	FPAdd(a, b uint32) uint32
+	FPMul(a, b uint32) uint32
+}
+
+// Exact computes with the FUs' golden semantics and no errors.
+type Exact struct{}
+
+// IntAdd returns a + b.
+func (Exact) IntAdd(a, b uint32) uint32 { return a + b }
+
+// IntMul returns a * b (low 32 bits).
+func (Exact) IntMul(a, b uint32) uint32 { return a * b }
+
+// FPAdd returns the truncating flush-to-zero float32 sum.
+func (Exact) FPAdd(a, b uint32) uint32 { return fpref.Add(a, b) }
+
+// FPMul returns the truncating flush-to-zero float32 product.
+func (Exact) FPMul(a, b uint32) uint32 { return fpref.Mul(a, b) }
+
+// Sobel applies the 3×3 Sobel operator through the unit's integer FUs
+// and returns the gradient-magnitude image (|gx| + |gy|, clipped to 255
+// — the integer-pipeline variant of the AMD APP SDK kernel).
+func Sobel(src *Image, u ArithUnit) *Image {
+	dst := New(src.W, src.H)
+	// Kernel weights as two's-complement uint32.
+	w := func(k int32) uint32 { return uint32(k) }
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			var gx, gy uint32
+			acc := func(dx, dy int, kx, ky int32) {
+				p := uint32(src.At(x+dx, y+dy))
+				if kx != 0 {
+					gx = u.IntAdd(gx, u.IntMul(p, w(kx)))
+				}
+				if ky != 0 {
+					gy = u.IntAdd(gy, u.IntMul(p, w(ky)))
+				}
+			}
+			acc(-1, -1, -1, -1)
+			acc(0, -1, 0, -2)
+			acc(1, -1, 1, -1)
+			acc(-1, 0, -2, 0)
+			acc(1, 0, 2, 0)
+			acc(-1, 1, -1, 1)
+			acc(0, 1, 0, 2)
+			acc(1, 1, 1, 1)
+			m := absInt32(int32(gx)) + absInt32(int32(gy))
+			if m > 255 {
+				m = 255
+			}
+			dst.Set(x, y, uint8(m))
+		}
+	}
+	return dst
+}
+
+func absInt32(v int32) int64 {
+	w := int64(v)
+	if w < 0 {
+		return -w
+	}
+	return w
+}
+
+// gauss3 is the 3×3 binomial kernel scaled by 1/16.
+var gauss3 = [3][3]float32{
+	{1.0 / 16, 2.0 / 16, 1.0 / 16},
+	{2.0 / 16, 4.0 / 16, 2.0 / 16},
+	{1.0 / 16, 2.0 / 16, 1.0 / 16},
+}
+
+// Gaussian applies the 3×3 Gaussian blur through the unit's
+// floating-point FUs.
+func Gaussian(src *Image, u ArithUnit) *Image {
+	dst := New(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			acc := uint32(0) // +0.0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					p := math.Float32bits(float32(src.At(x+dx, y+dy)))
+					k := math.Float32bits(gauss3[dy+1][dx+1])
+					acc = u.FPAdd(acc, u.FPMul(p, k))
+				}
+			}
+			v := math.Float32frombits(acc)
+			switch {
+			case v != v || v < 0: // NaN (from injected errors) or negative
+				v = 0
+			case v > 255:
+				v = 255
+			}
+			dst.Set(x, y, uint8(v+0.5))
+		}
+	}
+	return dst
+}
+
+// PSNR returns the peak signal-to-noise ratio of img against ref in dB
+// (+Inf for identical images). The paper classifies an output as
+// acceptable when PSNR >= 30 dB.
+func PSNR(img, ref *Image) (float64, error) {
+	if img.W != ref.W || img.H != ref.H {
+		return 0, fmt.Errorf("imaging: size mismatch %dx%d vs %dx%d", img.W, img.H, ref.W, ref.H)
+	}
+	if len(img.Pix) == 0 {
+		return 0, fmt.Errorf("imaging: empty image")
+	}
+	var sse float64
+	for i := range img.Pix {
+		d := float64(img.Pix[i]) - float64(ref.Pix[i])
+		sse += d * d
+	}
+	if sse == 0 {
+		return math.Inf(1), nil
+	}
+	mse := sse / float64(len(img.Pix))
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// AcceptableThresholdDB is the paper's output-quality threshold.
+const AcceptableThresholdDB = 30.0
+
+// Synthetic generates a deterministic procedural test image: layered
+// sinusoid texture, two mirrored elliptical "wing" blobs, and hash
+// noise — enough edge and smooth content to exercise both filters. The
+// same id always produces the same image.
+func Synthetic(id, w, h int) *Image {
+	m := New(w, h)
+	fw, fh := float64(w), float64(h)
+	s := float64(id%7) + 1
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x), float64(y)
+			v := 120.0
+			v += 50 * math.Sin(fx*0.11*s+float64(id)) * math.Cos(fy*0.07+0.5*float64(id))
+			// Mirrored wings around the vertical center line.
+			for _, sideSign := range []float64{-1, 1} {
+				cx := fw/2 + sideSign*fw/4
+				cy := fh / 2
+				dx := (fx - cx) / (fw / 5)
+				dy := (fy - cy) / (fh / 3)
+				if dx*dx+dy*dy < 1 {
+					v += 70 * (1 - dx*dx - dy*dy)
+				}
+			}
+			// Deterministic per-pixel noise.
+			n := uint32(x*73856093) ^ uint32(y*19349663) ^ uint32(id*83492791)
+			n ^= n >> 13
+			n *= 0x9e3779b1
+			v += float64(n%17) - 8
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			m.Set(x, y, uint8(v))
+		}
+	}
+	return m
+}
+
+// SyntheticSet generates n synthetic images of the given size.
+func SyntheticSet(n, w, h int) []*Image {
+	set := make([]*Image, n)
+	for i := range set {
+		set[i] = Synthetic(i, w, h)
+	}
+	return set
+}

@@ -1,0 +1,183 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticDeterministicAndDistinct(t *testing.T) {
+	a := Synthetic(1, 32, 32)
+	b := Synthetic(1, 32, 32)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same id produced different images")
+		}
+	}
+	c := Synthetic(2, 32, 32)
+	diff := 0
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Errorf("ids 1 and 2 differ in only %d pixels", diff)
+	}
+}
+
+func TestSyntheticHasDynamicRange(t *testing.T) {
+	img := Synthetic(0, 64, 64)
+	min, max := uint8(255), uint8(0)
+	for _, p := range img.Pix {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max-min < 80 {
+		t.Errorf("synthetic image range [%d, %d] too flat for edge detection", min, max)
+	}
+}
+
+func TestAtClampsBorders(t *testing.T) {
+	img := New(4, 4)
+	img.Set(0, 0, 11)
+	img.Set(3, 3, 22)
+	if img.At(-5, -5) != 11 {
+		t.Error("negative coordinates should clamp to (0,0)")
+	}
+	if img.At(100, 100) != 22 {
+		t.Error("oversized coordinates should clamp to (W-1,H-1)")
+	}
+}
+
+func TestSobelFlatImageIsZero(t *testing.T) {
+	img := New(16, 16)
+	for i := range img.Pix {
+		img.Pix[i] = 99
+	}
+	out := Sobel(img, Exact{})
+	for i, p := range out.Pix {
+		if p != 0 {
+			t.Fatalf("pixel %d = %d on a flat image", i, p)
+		}
+	}
+}
+
+func TestSobelVerticalEdge(t *testing.T) {
+	img := New(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			img.Set(x, y, 200)
+		}
+	}
+	out := Sobel(img, Exact{})
+	// Strong response on the edge columns, zero far away.
+	if out.At(3, 4) == 0 && out.At(4, 4) == 0 {
+		t.Error("no response on a hard vertical edge")
+	}
+	if out.At(1, 4) != 0 {
+		t.Errorf("response %d far from the edge", out.At(1, 4))
+	}
+}
+
+// TestSobelMatchesDirectConvolution verifies the FU-routed filter against
+// a plain int implementation.
+func TestSobelMatchesDirectConvolution(t *testing.T) {
+	img := Synthetic(3, 24, 24)
+	out := Sobel(img, Exact{})
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			gx := -int(img.At(x-1, y-1)) + int(img.At(x+1, y-1)) +
+				-2*int(img.At(x-1, y)) + 2*int(img.At(x+1, y)) +
+				-int(img.At(x-1, y+1)) + int(img.At(x+1, y+1))
+			gy := -int(img.At(x-1, y-1)) - 2*int(img.At(x, y-1)) - int(img.At(x+1, y-1)) +
+				int(img.At(x-1, y+1)) + 2*int(img.At(x, y+1)) + int(img.At(x+1, y+1))
+			m := int(math.Abs(float64(gx))) + int(math.Abs(float64(gy)))
+			if m > 255 {
+				m = 255
+			}
+			if int(out.At(x, y)) != m {
+				t.Fatalf("(%d,%d): FU-routed %d != direct %d", x, y, out.At(x, y), m)
+			}
+		}
+	}
+}
+
+func TestGaussianPreservesFlatRegions(t *testing.T) {
+	img := New(16, 16)
+	for i := range img.Pix {
+		img.Pix[i] = 120
+	}
+	out := Gaussian(img, Exact{})
+	for i, p := range out.Pix {
+		if int(p) < 118 || int(p) > 122 {
+			t.Fatalf("pixel %d = %d; blur of a flat 120 image should stay ~120", i, p)
+		}
+	}
+}
+
+func TestGaussianSmooths(t *testing.T) {
+	img := New(9, 9)
+	img.Set(4, 4, 255) // single bright pixel
+	out := Gaussian(img, Exact{})
+	if out.At(4, 4) >= 255 {
+		t.Error("center should be attenuated")
+	}
+	if out.At(3, 4) == 0 {
+		t.Error("energy should spread to neighbors")
+	}
+	if out.At(0, 0) != 0 {
+		t.Error("far corner should stay dark")
+	}
+	// Kernel mass check: total should be roughly preserved (~255).
+	total := 0
+	for _, p := range out.Pix {
+		total += int(p)
+	}
+	if total < 200 || total > 320 {
+		t.Errorf("blurred total mass %d; kernel should roughly preserve ~255", total)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := Synthetic(1, 16, 16)
+	same, err := PSNR(a, a)
+	if err != nil || !math.IsInf(same, 1) {
+		t.Errorf("PSNR(x,x) = %v, %v; want +Inf", same, err)
+	}
+	b := a.Clone()
+	b.Pix[0] ^= 0xFF
+	p, err := PSNR(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 20 || p > 60 {
+		t.Errorf("single corrupted pixel PSNR = %v; expected moderate", p)
+	}
+	noisy := a.Clone()
+	for i := range noisy.Pix {
+		noisy.Pix[i] ^= 0x80
+	}
+	pn, err := PSNR(noisy, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn >= p {
+		t.Errorf("heavy corruption PSNR (%v) should be below light corruption (%v)", pn, p)
+	}
+	if _, err := PSNR(New(2, 2), New(3, 3)); err == nil {
+		t.Error("PSNR accepted size mismatch")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Synthetic(1, 8, 8)
+	b := a.Clone()
+	b.Pix[0] = ^b.Pix[0]
+	if a.Pix[0] == b.Pix[0] {
+		t.Fatal("Clone shares pixel storage")
+	}
+}

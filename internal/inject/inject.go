@@ -1,0 +1,189 @@
+// Package inject plays the role the customized Multi2Sim plays in the
+// paper: it instruments application kernels' functional-unit calls, both
+// to profile the operand streams they produce (for dynamic timing
+// analysis) and to inject timing errors back into the application
+// according to a per-FU timing-error rate, with erroneous operations
+// returning a random value (the paper's error semantics, after [12]).
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tevot/internal/circuits"
+	"tevot/internal/imaging"
+	"tevot/internal/workload"
+)
+
+// Recording wraps exact arithmetic and records every operand pair per
+// functional unit.
+type Recording struct {
+	exact imaging.Exact
+	recs  map[circuits.FU]*workload.Recorder
+}
+
+// NewRecording creates a profiler; cap bounds the pairs kept per FU
+// (0 = unlimited).
+func NewRecording(capPerFU int) *Recording {
+	r := &Recording{recs: make(map[circuits.FU]*workload.Recorder)}
+	for _, fu := range circuits.AllFUs {
+		r.recs[fu] = &workload.Recorder{Name: fu.String(), Cap: capPerFU}
+	}
+	return r
+}
+
+// Stream returns the recorded operand stream of one FU.
+func (r *Recording) Stream(fu circuits.FU) (*workload.Stream, error) {
+	rec, ok := r.recs[fu]
+	if !ok {
+		return nil, fmt.Errorf("inject: no recorder for %v", fu)
+	}
+	return rec.Stream()
+}
+
+// Count returns the number of recorded pairs for one FU.
+func (r *Recording) Count(fu circuits.FU) int { return len(r.recs[fu].Pairs) }
+
+// IntAdd records and computes a + b.
+func (r *Recording) IntAdd(a, b uint32) uint32 {
+	r.recs[circuits.IntAdd32].Record(a, b)
+	return r.exact.IntAdd(a, b)
+}
+
+// IntMul records and computes a * b.
+func (r *Recording) IntMul(a, b uint32) uint32 {
+	r.recs[circuits.IntMul32].Record(a, b)
+	return r.exact.IntMul(a, b)
+}
+
+// FPAdd records and computes the float sum.
+func (r *Recording) FPAdd(a, b uint32) uint32 {
+	r.recs[circuits.FPAdd32].Record(a, b)
+	return r.exact.FPAdd(a, b)
+}
+
+// FPMul records and computes the float product.
+func (r *Recording) FPMul(a, b uint32) uint32 {
+	r.recs[circuits.FPMul32].Record(a, b)
+	return r.exact.FPMul(a, b)
+}
+
+// TERs is a per-FU timing-error rate in [0, 1].
+type TERs map[circuits.FU]float64
+
+// Validate checks all rates are probabilities.
+func (t TERs) Validate() error {
+	for fu, r := range t {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("inject: TER %v for %v outside [0,1]", r, fu)
+		}
+	}
+	return nil
+}
+
+// Injecting wraps exact arithmetic and corrupts each FU result with the
+// FU's timing-error rate: an erroneous operation returns a uniformly
+// random 32-bit value.
+type Injecting struct {
+	exact imaging.Exact
+	ters  TERs
+	rng   *rand.Rand
+	// Errors counts injected errors per FU.
+	Errors map[circuits.FU]int
+	// Ops counts total operations per FU.
+	Ops map[circuits.FU]int
+}
+
+// NewInjecting creates an injector with the given rates and seed.
+func NewInjecting(ters TERs, seed int64) (*Injecting, error) {
+	if err := ters.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injecting{
+		ters:   ters,
+		rng:    rand.New(rand.NewSource(seed)),
+		Errors: make(map[circuits.FU]int),
+		Ops:    make(map[circuits.FU]int),
+	}, nil
+}
+
+func (in *Injecting) apply(fu circuits.FU, exact uint32) uint32 {
+	in.Ops[fu]++
+	if r := in.ters[fu]; r > 0 && in.rng.Float64() < r {
+		in.Errors[fu]++
+		return in.rng.Uint32()
+	}
+	return exact
+}
+
+// IntAdd computes a + b, possibly corrupted.
+func (in *Injecting) IntAdd(a, b uint32) uint32 {
+	return in.apply(circuits.IntAdd32, in.exact.IntAdd(a, b))
+}
+
+// IntMul computes a * b, possibly corrupted.
+func (in *Injecting) IntMul(a, b uint32) uint32 {
+	return in.apply(circuits.IntMul32, in.exact.IntMul(a, b))
+}
+
+// FPAdd computes the float sum, possibly corrupted.
+func (in *Injecting) FPAdd(a, b uint32) uint32 {
+	return in.apply(circuits.FPAdd32, in.exact.FPAdd(a, b))
+}
+
+// FPMul computes the float product, possibly corrupted.
+func (in *Injecting) FPMul(a, b uint32) uint32 {
+	return in.apply(circuits.FPMul32, in.exact.FPMul(a, b))
+}
+
+// App identifies one of the two study applications.
+type App int
+
+const (
+	// SobelApp is the Sobel edge filter (integer pipeline).
+	SobelApp App = iota
+	// GaussApp is the Gaussian blur (floating-point pipeline).
+	GaussApp
+)
+
+func (a App) String() string {
+	if a == SobelApp {
+		return "Sobel"
+	}
+	return "Gauss"
+}
+
+// Run executes the application on an image through the given unit.
+func (a App) Run(img *imaging.Image, u imaging.ArithUnit) *imaging.Image {
+	if a == SobelApp {
+		return imaging.Sobel(img, u)
+	}
+	return imaging.Gaussian(img, u)
+}
+
+// FUs lists the functional units the application exercises.
+func (a App) FUs() []circuits.FU {
+	if a == SobelApp {
+		return []circuits.FU{circuits.IntAdd32, circuits.IntMul32}
+	}
+	return []circuits.FU{circuits.FPAdd32, circuits.FPMul32}
+}
+
+// Apps lists both study applications.
+var Apps = []App{SobelApp, GaussApp}
+
+// QualityRun executes the app on an image with injected errors and
+// reports the output's PSNR against the clean output.
+func (a App) QualityRun(img *imaging.Image, ters TERs, seed int64) (psnr float64, out *imaging.Image, err error) {
+	clean := a.Run(img, imaging.Exact{})
+	in, err := NewInjecting(ters, seed)
+	if err != nil {
+		return 0, nil, err
+	}
+	out = a.Run(img, in)
+	psnr, err = imaging.PSNR(out, clean)
+	if err != nil {
+		return 0, nil, err
+	}
+	return psnr, out, nil
+}

@@ -1,0 +1,160 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"tevot/internal/circuits"
+	"tevot/internal/imaging"
+)
+
+func TestRecordingCapturesStreams(t *testing.T) {
+	rec := NewRecording(0)
+	img := imaging.Synthetic(1, 16, 16)
+	imaging.Sobel(img, rec)
+	for _, fu := range []circuits.FU{circuits.IntAdd32, circuits.IntMul32} {
+		if rec.Count(fu) == 0 {
+			t.Errorf("Sobel recorded no %v operations", fu)
+		}
+		if _, err := rec.Stream(fu); err != nil {
+			t.Errorf("Stream(%v): %v", fu, err)
+		}
+	}
+	if rec.Count(circuits.FPAdd32) != 0 {
+		t.Error("Sobel should not touch the FP adder")
+	}
+	imaging.Gaussian(img, rec)
+	for _, fu := range []circuits.FU{circuits.FPAdd32, circuits.FPMul32} {
+		if rec.Count(fu) == 0 {
+			t.Errorf("Gaussian recorded no %v operations", fu)
+		}
+	}
+}
+
+func TestRecordingIsExact(t *testing.T) {
+	rec := NewRecording(0)
+	img := imaging.Synthetic(2, 16, 16)
+	viaRec := imaging.Sobel(img, rec)
+	viaExact := imaging.Sobel(img, imaging.Exact{})
+	for i := range viaRec.Pix {
+		if viaRec.Pix[i] != viaExact.Pix[i] {
+			t.Fatal("recording unit changed results")
+		}
+	}
+}
+
+func TestInjectingZeroRateIsExact(t *testing.T) {
+	in, err := NewInjecting(TERs{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := imaging.Synthetic(3, 16, 16)
+	a := imaging.Sobel(img, in)
+	b := imaging.Sobel(img, imaging.Exact{})
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("zero-rate injector corrupted output")
+		}
+	}
+	if in.Errors[circuits.IntAdd32] != 0 {
+		t.Error("zero-rate injector counted errors")
+	}
+}
+
+func TestInjectingRateObserved(t *testing.T) {
+	in, err := NewInjecting(TERs{circuits.IntAdd32: 0.25}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20000
+	for i := 0; i < n; i++ {
+		in.IntAdd(uint32(i), 1)
+	}
+	rate := float64(in.Errors[circuits.IntAdd32]) / float64(in.Ops[circuits.IntAdd32])
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("observed error rate %v, want ~0.25", rate)
+	}
+}
+
+func TestInjectingFullRateAlwaysErrors(t *testing.T) {
+	in, err := NewInjecting(TERs{circuits.IntMul32: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := uint32(0); i < 100; i++ {
+		if in.IntMul(i, 3) != i*3 {
+			hits++
+		}
+	}
+	// A random value can coincide with the exact one, but not often.
+	if hits < 95 {
+		t.Errorf("full-rate injector produced %d/100 corruptions", hits)
+	}
+	if in.Errors[circuits.IntMul32] != 100 {
+		t.Errorf("error count = %d, want 100", in.Errors[circuits.IntMul32])
+	}
+}
+
+func TestTERsValidate(t *testing.T) {
+	if err := (TERs{circuits.IntAdd32: 1.5}).Validate(); err == nil {
+		t.Error("accepted TER > 1")
+	}
+	if err := (TERs{circuits.IntAdd32: -0.1}).Validate(); err == nil {
+		t.Error("accepted TER < 0")
+	}
+	if _, err := NewInjecting(TERs{circuits.IntAdd32: 2}, 0); err == nil {
+		t.Error("NewInjecting accepted invalid rates")
+	}
+}
+
+func TestQualityRunDegradesWithRate(t *testing.T) {
+	img := imaging.Synthetic(4, 24, 24)
+	clean, _, err := SobelApp.QualityRun(img, TERs{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(clean, 1) {
+		t.Errorf("error-free run PSNR = %v, want +Inf", clean)
+	}
+	light, _, err := SobelApp.QualityRun(img, TERs{circuits.IntAdd32: 0.001}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, _, err := SobelApp.QualityRun(img, TERs{circuits.IntAdd32: 0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy >= light {
+		t.Errorf("PSNR should fall with rate: light %v, heavy %v", light, heavy)
+	}
+}
+
+func TestAppMetadata(t *testing.T) {
+	if SobelApp.String() != "Sobel" || GaussApp.String() != "Gauss" {
+		t.Error("app names wrong")
+	}
+	if len(SobelApp.FUs()) != 2 || SobelApp.FUs()[0] != circuits.IntAdd32 {
+		t.Error("Sobel FU list wrong")
+	}
+	if len(GaussApp.FUs()) != 2 || GaussApp.FUs()[0] != circuits.FPAdd32 {
+		t.Error("Gauss FU list wrong")
+	}
+	if len(Apps) != 2 {
+		t.Error("Apps list wrong")
+	}
+}
+
+func TestGaussQualityRun(t *testing.T) {
+	img := imaging.Synthetic(5, 24, 24)
+	p, out, err := GaussApp.QualityRun(img, TERs{circuits.FPMul32: 0.05}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || out.W != img.W {
+		t.Fatal("no output image")
+	}
+	if math.IsInf(p, 1) {
+		t.Error("5% FP error rate left the image untouched")
+	}
+}

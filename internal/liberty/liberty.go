@@ -1,0 +1,187 @@
+// Package liberty writes and reads a minimal Liberty (.lib) view of the
+// standard-cell library: one cell group per kind with a linear
+// delay-vs-fanout timing arc, characterized at a chosen operating
+// corner. In the paper's flow the cell library (with its
+// voltage-temperature scaling characterization) is the artifact that
+// carries timing from the foundry into synthesis and STA; this package
+// provides that artifact for our library so per-corner libraries can be
+// inspected, diffed, and reloaded.
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tevot/internal/cells"
+)
+
+// Library is the parsed view of a .lib file.
+type Library struct {
+	Name        string
+	Voltage     float64
+	Temperature float64
+	// Cells maps cell name to its characterized linear timing arc
+	// (intrinsic + per-load slope), in ps.
+	Cells map[string]cells.Timing
+}
+
+// FromScaling characterizes the built-in cell library at a corner:
+// every kind's nominal timing multiplied by its kind-specific derating.
+func FromScaling(name string, m cells.ScalingModel, corner cells.Corner) (*Library, error) {
+	if err := m.Validate(corner); err != nil {
+		return nil, err
+	}
+	lib := &Library{
+		Name:        name,
+		Voltage:     corner.V,
+		Temperature: corner.T,
+		Cells:       make(map[string]cells.Timing),
+	}
+	for _, k := range cells.Kinds() {
+		tm := cells.NominalTiming(k)
+		f := m.FactorFor(k, corner)
+		lib.Cells[k.String()] = cells.Timing{
+			Intrinsic: tm.Intrinsic * f,
+			PerLoad:   tm.PerLoad * f,
+		}
+	}
+	return lib, nil
+}
+
+// Timing returns the library's arc for a cell kind.
+func (l *Library) Timing(k cells.Kind) (cells.Timing, error) {
+	tm, ok := l.Cells[k.String()]
+	if !ok {
+		return cells.Timing{}, fmt.Errorf("liberty: library %q has no cell %s", l.Name, k)
+	}
+	return tm, nil
+}
+
+// Write emits the library as Liberty text.
+func (l *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", l.Name)
+	fmt.Fprintf(bw, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.3f;\n", l.Voltage)
+	fmt.Fprintf(bw, "  nom_temperature : %.1f;\n", l.Temperature)
+	names := make([]string, 0, len(l.Cells))
+	for name := range l.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tm := l.Cells[name]
+		fmt.Fprintf(bw, "  cell (%s) {\n", name)
+		fmt.Fprintf(bw, "    pin (Y) {\n")
+		fmt.Fprintf(bw, "      direction : output;\n")
+		fmt.Fprintf(bw, "      timing () {\n")
+		fmt.Fprintf(bw, "        intrinsic_rise : %.4f;\n", tm.Intrinsic)
+		fmt.Fprintf(bw, "        intrinsic_fall : %.4f;\n", tm.Intrinsic)
+		fmt.Fprintf(bw, "        rise_resistance : %.4f;\n", tm.PerLoad)
+		fmt.Fprintf(bw, "        fall_resistance : %.4f;\n", tm.PerLoad)
+		fmt.Fprintf(bw, "      }\n")
+		fmt.Fprintf(bw, "    }\n")
+		fmt.Fprintf(bw, "  }\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// Parse reads the subset Write emits (library header attributes and
+// per-cell intrinsic/resistance timing attributes). Rise and fall values
+// are averaged, matching the single-arc model the rest of the flow uses.
+func Parse(r io.Reader) (*Library, error) {
+	lib := &Library{Cells: make(map[string]cells.Timing)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var curCell string
+	var intrinsicSum, resistSum float64
+	var intrinsicN, resistN int
+	flushCell := func() error {
+		if curCell == "" {
+			return nil
+		}
+		if intrinsicN == 0 || resistN == 0 {
+			return fmt.Errorf("liberty: cell %q missing timing attributes", curCell)
+		}
+		lib.Cells[curCell] = cells.Timing{
+			Intrinsic: intrinsicSum / float64(intrinsicN),
+			PerLoad:   resistSum / float64(resistN),
+		}
+		curCell = ""
+		intrinsicSum, resistSum = 0, 0
+		intrinsicN, resistN = 0, 0
+		return nil
+	}
+	attrValue := func(line string) (float64, error) {
+		_, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return 0, fmt.Errorf("liberty: malformed attribute %q", line)
+		}
+		v = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(v), ";"))
+		return strconv.ParseFloat(v, 64)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "library ("):
+			lib.Name = between(line, "library (", ")")
+		case strings.HasPrefix(line, "nom_voltage"):
+			v, err := attrValue(line)
+			if err != nil {
+				return nil, err
+			}
+			lib.Voltage = v
+		case strings.HasPrefix(line, "nom_temperature"):
+			v, err := attrValue(line)
+			if err != nil {
+				return nil, err
+			}
+			lib.Temperature = v
+		case strings.HasPrefix(line, "cell ("):
+			if err := flushCell(); err != nil {
+				return nil, err
+			}
+			curCell = between(line, "cell (", ")")
+		case strings.HasPrefix(line, "intrinsic_rise"), strings.HasPrefix(line, "intrinsic_fall"):
+			v, err := attrValue(line)
+			if err != nil {
+				return nil, err
+			}
+			intrinsicSum += v
+			intrinsicN++
+		case strings.HasPrefix(line, "rise_resistance"), strings.HasPrefix(line, "fall_resistance"):
+			v, err := attrValue(line)
+			if err != nil {
+				return nil, err
+			}
+			resistSum += v
+			resistN++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flushCell(); err != nil {
+		return nil, err
+	}
+	if lib.Name == "" {
+		return nil, fmt.Errorf("liberty: no library group found")
+	}
+	if len(lib.Cells) == 0 {
+		return nil, fmt.Errorf("liberty: library %q has no cells", lib.Name)
+	}
+	return lib, nil
+}
+
+func between(s, pre, post string) string {
+	s = strings.TrimPrefix(s, pre)
+	if i := strings.Index(s, post); i >= 0 {
+		return strings.TrimSpace(s[:i])
+	}
+	return strings.TrimSpace(s)
+}

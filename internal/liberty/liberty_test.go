@@ -1,0 +1,103 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tevot/internal/cells"
+)
+
+func TestFromScalingNominalMatchesLibrary(t *testing.T) {
+	m := cells.DefaultScaling()
+	lib, err := FromScaling("tevot45", m, cells.Corner{V: m.Vnom, T: m.Tnom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range cells.Kinds() {
+		got, err := lib.Timing(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cells.NominalTiming(k)
+		if math.Abs(got.Intrinsic-want.Intrinsic) > 1e-9 || math.Abs(got.PerLoad-want.PerLoad) > 1e-9 {
+			t.Errorf("%s: nominal library arc %+v != library timing %+v", k, got, want)
+		}
+	}
+}
+
+func TestFromScalingLowVoltageSlower(t *testing.T) {
+	m := cells.DefaultScaling()
+	nom, err := FromScaling("nom", m, cells.Corner{V: 1.0, T: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := FromScaling("slow", m, cells.Corner{V: 0.81, T: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range cells.Kinds() {
+		a, _ := nom.Timing(k)
+		b, _ := slow.Timing(k)
+		if b.Intrinsic <= a.Intrinsic {
+			t.Errorf("%s: 0.81V arc (%v) not slower than 1.0V (%v)", k, b.Intrinsic, a.Intrinsic)
+		}
+	}
+}
+
+func TestFromScalingRejectsBadCorner(t *testing.T) {
+	if _, err := FromScaling("x", cells.DefaultScaling(), cells.Corner{V: 0.3, T: 25}); err == nil {
+		t.Fatal("accepted sub-threshold corner")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := cells.DefaultScaling()
+	lib, err := FromScaling("tevot45_slow", m, cells.Corner{V: 0.85, T: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "tevot45_slow" || back.Voltage != 0.85 || back.Temperature != 75 {
+		t.Errorf("header lost: %q %v %v", back.Name, back.Voltage, back.Temperature)
+	}
+	if len(back.Cells) != len(lib.Cells) {
+		t.Fatalf("cell count %d != %d", len(back.Cells), len(lib.Cells))
+	}
+	for name, want := range lib.Cells {
+		got := back.Cells[name]
+		if math.Abs(got.Intrinsic-want.Intrinsic) > 0.001 || math.Abs(got.PerLoad-want.PerLoad) > 0.001 {
+			t.Errorf("%s: %+v != %+v after round trip", name, got, want)
+		}
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"no cells":      "library (x) {\n}\n",
+		"bad attribute": "library (x) {\n  cell (INV) {\n    intrinsic_rise : abc;\n  }\n}",
+		"cell missing timing": "library (x) {\n  cell (INV) {\n  }\n  cell (BUF) {\n" +
+			"    intrinsic_rise : 1;\n    rise_resistance : 1;\n  }\n}",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+}
+
+func TestTimingMissingCell(t *testing.T) {
+	lib := &Library{Name: "x", Cells: map[string]cells.Timing{}}
+	if _, err := lib.Timing(cells.Inv); err == nil {
+		t.Fatal("Timing succeeded for missing cell")
+	}
+}

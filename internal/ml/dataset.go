@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a labeled sample matrix: one row per sample.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Append adds one sample.
+func (d *Dataset) Append(x []float64, y float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Shuffle permutes the dataset in place, deterministically for a seed.
+func (d *Dataset) Shuffle(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(d.X), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split partitions the dataset at a fraction (0 < frac < 1) into
+// (train, test) views sharing the underlying rows.
+func (d *Dataset) Split(frac float64) (train, test Dataset, err error) {
+	if frac <= 0 || frac >= 1 {
+		return Dataset{}, Dataset{}, fmt.Errorf("ml: split fraction %v outside (0,1)", frac)
+	}
+	n := int(float64(len(d.X)) * frac)
+	if n == 0 || n == len(d.X) {
+		return Dataset{}, Dataset{}, fmt.Errorf("ml: split of %d rows at %v leaves an empty side", len(d.X), frac)
+	}
+	train = Dataset{X: d.X[:n], Y: d.Y[:n]}
+	test = Dataset{X: d.X[n:], Y: d.Y[n:]}
+	return train, test, nil
+}
+
+// Scaler standardizes features to zero mean and unit variance; constant
+// features pass through unchanged. Distance- and margin-based learners
+// (k-NN, SVM) need it because raw features mix volts (~1), degrees
+// (~100), and bits (0/1).
+type Scaler struct {
+	mean, std []float64
+}
+
+// FitScaler computes per-column statistics.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("ml: empty dataset for scaler")
+	}
+	d := len(X[0])
+	s := &Scaler{mean: make([]float64, d), std: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - s.mean[j]
+			s.std[j] += dv * dv
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1 // constant column: identity transform
+			s.mean[j] = 0
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a standardized copy of X.
+func (s *Scaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.mean[j]) / s.std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TransformRow standardizes a single row.
+func (s *Scaler) TransformRow(x []float64) []float64 {
+	r := make([]float64, len(x))
+	for j, v := range x {
+		r[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return r
+}

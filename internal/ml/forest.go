@@ -1,0 +1,187 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 10, the paper's stated
+	// scikit-learn default).
+	Trees int
+	// Tree configures the member trees. Seed is overridden per tree.
+	Tree TreeConfig
+	// Bootstrap enables sampling with replacement per tree (default on
+	// via NewRandomForest).
+	Bootstrap bool
+	// Seed drives bootstrap sampling and per-tree seeds.
+	Seed int64
+	// Workers bounds training parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultForestConfig mirrors the paper's setup: 10 trees, all features
+// considered at each split, bootstrap sampling.
+func DefaultForestConfig(mode Mode) ForestConfig {
+	return ForestConfig{
+		Trees:     10,
+		Tree:      TreeConfig{Mode: mode},
+		Bootstrap: true,
+		Seed:      1,
+	}
+}
+
+// RandomForest is a bagged ensemble of CART trees: the model the paper
+// selects for TEVoT ("RFC" in Table II).
+type RandomForest struct {
+	cfg   ForestConfig
+	trees []*DecisionTree
+}
+
+// NewRandomForest returns an unfitted forest.
+func NewRandomForest(cfg ForestConfig) *RandomForest {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 10
+	}
+	return &RandomForest{cfg: cfg}
+}
+
+// Fit trains every member tree, in parallel, each on its own bootstrap
+// sample. Deterministic for a fixed Seed regardless of worker count.
+func (f *RandomForest) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	n := len(X)
+	f.trees = make([]*DecisionTree, f.cfg.Trees)
+	errs := make([]error, f.cfg.Trees)
+
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ti := 0; ti < f.cfg.Trees; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := f.cfg.Tree
+			cfg.Seed = f.cfg.Seed + int64(ti)*7919
+			tree := NewDecisionTree(cfg)
+			idx := make([]int, n)
+			if f.cfg.Bootstrap {
+				rng := rand.New(rand.NewSource(cfg.Seed))
+				for i := range idx {
+					idx[i] = rng.Intn(n)
+				}
+			} else {
+				for i := range idx {
+					idx[i] = i
+				}
+			}
+			errs[ti] = tree.FitIndices(X, y, idx)
+			f.trees[ti] = tree
+		}(ti)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict aggregates the member trees: mean for regression, majority
+// vote for classification.
+func (f *RandomForest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	if f.cfg.Tree.Mode == Regression {
+		sum := 0.0
+		for _, t := range f.trees {
+			sum += t.Predict(x)
+		}
+		return sum / float64(len(f.trees))
+	}
+	votes := make(map[int]int)
+	bestC, bestN := 0, -1
+	for _, t := range f.trees {
+		c := int(t.Predict(x))
+		votes[c]++
+		// Deterministic tie-break: lower class wins on equal votes.
+		if votes[c] > bestN || (votes[c] == bestN && c < bestC) {
+			bestC, bestN = c, votes[c]
+		}
+	}
+	return float64(bestC)
+}
+
+// PredictBatch predicts many rows, in parallel.
+func (f *RandomForest) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(X) + workers - 1) / workers
+	for lo := 0; lo < len(X); lo += chunk {
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = f.Predict(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// NumTrees reports the fitted ensemble size.
+func (f *RandomForest) NumTrees() int { return len(f.trees) }
+
+// Importance returns the mean impurity-decrease feature importance of
+// the ensemble, normalized to sum to 1 (all zeros if no split was ever
+// made). This is the interpretability the paper credits the random
+// forest with: which bit positions and condition features drive the
+// dynamic delay.
+func (f *RandomForest) Importance() []float64 {
+	if len(f.trees) == 0 || len(f.trees[0].importance) == 0 {
+		return nil
+	}
+	total := make([]float64, len(f.trees[0].importance))
+	for _, t := range f.trees {
+		for i, v := range t.importance {
+			total[i] += v
+		}
+	}
+	sum := 0.0
+	for _, v := range total {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range total {
+			total[i] /= sum
+		}
+	}
+	return total
+}
+
+// Trees exposes the fitted member trees (for introspection in tests).
+func (f *RandomForest) Trees() []*DecisionTree { return f.trees }

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestImportanceFindsInformativeFeatures: for y driven entirely by x0
+// and x2, the importance mass must land on those columns.
+func TestImportanceFindsInformativeFeatures(t *testing.T) {
+	X, y := synthRegression(600, 50) // y = 3*x0 - 2*x1 + 5*step(x2)
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	if len(imp) != 3 {
+		t.Fatalf("importance has %d entries, want 3", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v, want 1", sum)
+	}
+	// x2 (the +5 step) carries the largest single effect.
+	if imp[2] < imp[1] {
+		t.Errorf("step feature importance (%v) should exceed the weakest linear one (%v); imp=%v",
+			imp[2], imp[1], imp)
+	}
+}
+
+// TestImportanceIgnoresNoise: a pure-noise column should get (almost) no
+// importance relative to the signal columns.
+func TestImportanceIgnoresNoise(t *testing.T) {
+	X, y := synthXOR(500, 51) // third column is uniform noise
+	f := NewRandomForest(DefaultForestConfig(Classification))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	if imp[2] > imp[0] || imp[2] > imp[1] {
+		t.Errorf("noise column importance %v exceeds signal columns %v, %v", imp[2], imp[0], imp[1])
+	}
+}
+
+func TestImportanceUnfittedNil(t *testing.T) {
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if f.Importance() != nil {
+		t.Error("unfitted forest should report nil importance")
+	}
+}
+
+func TestImportanceSurvivesPersistence(t *testing.T) {
+	X, y := synthRegression(300, 52)
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := f.Importance()
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Importance()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("importance[%d] changed after round trip", i)
+		}
+	}
+}

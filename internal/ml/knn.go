@@ -1,0 +1,132 @@
+package ml
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// KNN is a brute-force k-nearest-neighbors model (Euclidean metric).
+// Training is instant (store the data); prediction scans the whole
+// training set — reproducing the paper's Table II profile where k-NN has
+// negligible training time and by far the largest testing time.
+type KNN struct {
+	K    int  // neighbors (default 5)
+	Mode Mode // Regression: mean of neighbors; Classification: majority
+
+	X [][]float64
+	y []float64
+}
+
+// NewKNN returns an unfitted model.
+func NewKNN(k int, mode Mode) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{K: k, Mode: mode}
+}
+
+// Fit stores the training set (no copying).
+func (m *KNN) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	m.X, m.y = X, y
+	return nil
+}
+
+// Predict returns the aggregate of the K nearest training labels.
+func (m *KNN) Predict(x []float64) float64 {
+	k := m.K
+	if k > len(m.X) {
+		k = len(m.X)
+	}
+	// Bounded max-heap of the k best (distance, index) pairs, kept as a
+	// simple insertion list since k is small.
+	dists := make([]float64, 0, k)
+	idxs := make([]int, 0, k)
+	worst := -1.0
+	for i, row := range m.X {
+		d := sqDist(x, row)
+		if len(dists) < k {
+			dists = append(dists, d)
+			idxs = append(idxs, i)
+			if d > worst {
+				worst = d
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Replace the current worst.
+		wi, wd := 0, -1.0
+		for j, dj := range dists {
+			if dj > wd {
+				wi, wd = j, dj
+			}
+		}
+		dists[wi], idxs[wi] = d, i
+		worst = -1
+		for _, dj := range dists {
+			if dj > worst {
+				worst = dj
+			}
+		}
+	}
+	if m.Mode == Regression {
+		sum := 0.0
+		for _, i := range idxs {
+			sum += m.y[i]
+		}
+		return sum / float64(len(idxs))
+	}
+	votes := make(map[int]int)
+	bestC, bestN := 0, -1
+	for _, i := range idxs {
+		c := int(m.y[i])
+		votes[c]++
+		if votes[c] > bestN || (votes[c] == bestN && c < bestC) {
+			bestC, bestN = c, votes[c]
+		}
+	}
+	return float64(bestC)
+}
+
+// PredictBatch predicts many rows, in parallel.
+func (m *KNN) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	chunk := (len(X) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(X); lo += chunk {
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.Predict(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ridge is linear least-squares regression with L2 regularization,
+// solved in closed form via the normal equations. It is the "LR" row of
+// the paper's Table II: per-feature weights capture the disparity of
+// significance between bit positions but cannot model interactions.
+type Ridge struct {
+	// Lambda is the L2 penalty (default 1e-6, effectively OLS with a
+	// numerical safety net).
+	Lambda float64
+
+	w []float64 // weights, last entry is the intercept
+}
+
+// NewRidge returns an unfitted model.
+func NewRidge(lambda float64) *Ridge {
+	if lambda <= 0 {
+		lambda = 1e-6
+	}
+	return &Ridge{Lambda: lambda}
+}
+
+// Fit solves (XᵀX + λI) w = Xᵀy with an implicit all-ones intercept
+// column (the intercept is not regularized).
+func (m *Ridge) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	d := len(X[0]) + 1 // + intercept
+	// Accumulate the normal equations.
+	a := make([][]float64, d) // XᵀX
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	b := make([]float64, d) // Xᵀy
+	row := make([]float64, d)
+	for r, x := range X {
+		copy(row, x)
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			xi := row[i]
+			if xi == 0 {
+				continue
+			}
+			for j := i; j < d; j++ {
+				a[i][j] += xi * row[j]
+			}
+			b[i] += xi * y[r]
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+	for i := 0; i < d-1; i++ { // do not regularize the intercept
+		a[i][i] += m.Lambda
+	}
+	w, err := solveLinear(a, b)
+	if err != nil {
+		return err
+	}
+	m.w = w
+	return nil
+}
+
+// Predict returns wᵀx + intercept.
+func (m *Ridge) Predict(x []float64) float64 {
+	if m.w == nil {
+		return 0
+	}
+	s := m.w[len(m.w)-1]
+	for i, v := range x {
+		s += m.w[i] * v
+	}
+	return s
+}
+
+// Weights returns the fitted weights (excluding the intercept).
+func (m *Ridge) Weights() []float64 {
+	if m.w == nil {
+		return nil
+	}
+	return m.w[:len(m.w)-1]
+}
+
+// Intercept returns the fitted intercept.
+func (m *Ridge) Intercept() float64 {
+	if m.w == nil {
+		return 0
+	}
+	return m.w[len(m.w)-1]
+}
+
+// solveLinear solves a·x = b by Gaussian elimination with partial
+// pivoting; a and b are consumed.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("ml: singular normal-equation matrix at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

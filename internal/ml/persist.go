@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Serialization mirrors the unexported tree structures through exported
+// DTOs so trained models can be shipped (the paper: "We will open-source
+// the pre-trained models for research community").
+
+type nodeDTO struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Value     float64
+}
+
+type treeDTO struct {
+	Cfg        TreeConfig
+	Classes    int
+	Nodes      []nodeDTO
+	Importance []float64
+}
+
+type forestDTO struct {
+	Version int
+	Cfg     ForestConfig
+	Trees   []treeDTO
+}
+
+const forestFormatVersion = 1
+
+func (t *DecisionTree) toDTO() treeDTO {
+	dto := treeDTO{Cfg: t.cfg, Classes: t.classes, Nodes: make([]nodeDTO, len(t.nodes)), Importance: t.importance}
+	for i, n := range t.nodes {
+		dto.Nodes[i] = nodeDTO{n.feature, n.threshold, n.left, n.right, n.value}
+	}
+	return dto
+}
+
+func treeFromDTO(dto treeDTO) (*DecisionTree, error) {
+	t := &DecisionTree{cfg: dto.Cfg, classes: dto.Classes, nodes: make([]node, len(dto.Nodes)), importance: dto.Importance}
+	for i, n := range dto.Nodes {
+		if n.Feature >= 0 {
+			if int(n.Left) >= len(dto.Nodes) || int(n.Right) >= len(dto.Nodes) ||
+				n.Left < 0 || n.Right < 0 {
+				return nil, fmt.Errorf("ml: corrupt tree: node %d children out of range", i)
+			}
+		}
+		t.nodes[i] = node{n.Feature, n.Threshold, n.Left, n.Right, n.Value}
+	}
+	return t, nil
+}
+
+// Save serializes the fitted forest with encoding/gob.
+func (f *RandomForest) Save(w io.Writer) error {
+	if len(f.trees) == 0 {
+		return fmt.Errorf("ml: cannot save an unfitted forest")
+	}
+	dto := forestDTO{Version: forestFormatVersion, Cfg: f.cfg, Trees: make([]treeDTO, len(f.trees))}
+	for i, t := range f.trees {
+		dto.Trees[i] = t.toDTO()
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// LoadForest deserializes a forest saved with Save.
+func LoadForest(r io.Reader) (*RandomForest, error) {
+	var dto forestDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ml: decoding forest: %w", err)
+	}
+	if dto.Version != forestFormatVersion {
+		return nil, fmt.Errorf("ml: unsupported forest format version %d", dto.Version)
+	}
+	if len(dto.Trees) == 0 {
+		return nil, fmt.Errorf("ml: saved forest has no trees")
+	}
+	f := &RandomForest{cfg: dto.Cfg, trees: make([]*DecisionTree, len(dto.Trees))}
+	for i, td := range dto.Trees {
+		t, err := treeFromDTO(td)
+		if err != nil {
+			return nil, err
+		}
+		f.trees[i] = t
+	}
+	return f, nil
+}

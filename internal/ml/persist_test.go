@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestForestSaveLoadRoundTrip(t *testing.T) {
+	X, y := synthRegression(400, 30)
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumTrees() != f.NumTrees() {
+		t.Fatalf("tree count %d != %d", loaded.NumTrees(), f.NumTrees())
+	}
+	Xt, _ := synthRegression(100, 31)
+	for i := range Xt {
+		if loaded.Predict(Xt[i]) != f.Predict(Xt[i]) {
+			t.Fatalf("row %d: prediction changed after round trip", i)
+		}
+	}
+}
+
+func TestForestSaveLoadClassification(t *testing.T) {
+	X, y := synthXOR(300, 32)
+	f := NewRandomForest(DefaultForestConfig(Classification))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X[:50] {
+		if loaded.Predict(X[i]) != f.Predict(X[i]) {
+			t.Fatalf("row %d: class changed after round trip", i)
+		}
+	}
+}
+
+func TestSaveUnfittedForestFails(t *testing.T) {
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if err := f.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save succeeded on unfitted forest")
+	}
+}
+
+func TestLoadForestRejectsGarbage(t *testing.T) {
+	if _, err := LoadForest(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("LoadForest accepted garbage")
+	}
+}

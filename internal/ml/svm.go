@@ -1,0 +1,100 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SVM is a linear support-vector classifier trained with the Pegasos
+// primal subgradient method. Labels are binary classes {0, 1}. Like the
+// paper's SVM it learns per-feature weights but no feature interactions,
+// and its training cost dominates the Table II comparison.
+type SVM struct {
+	// Lambda is the regularization strength (default 1e-4).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 20).
+	Epochs int
+	// Seed drives the sampling order.
+	Seed int64
+
+	w    []float64
+	bias float64
+}
+
+// NewSVM returns an unfitted classifier.
+func NewSVM(lambda float64, epochs int, seed int64) *SVM {
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	if epochs <= 0 {
+		epochs = 20
+	}
+	return &SVM{Lambda: lambda, Epochs: epochs, Seed: seed}
+}
+
+// Fit trains on labels in {0, 1}.
+func (m *SVM) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return fmt.Errorf("ml: SVM requires labels in {0,1}, got %v", v)
+		}
+	}
+	d := len(X[0])
+	w := make([]float64, d)
+	var bias float64
+	rng := rand.New(rand.NewSource(m.Seed))
+	n := len(X)
+	t := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for it := 0; it < n; it++ {
+			t++
+			i := rng.Intn(n)
+			eta := 1 / (m.Lambda * float64(t))
+			yi := 2*y[i] - 1 // {0,1} -> {-1,+1}
+			margin := bias
+			xi := X[i]
+			for j, v := range xi {
+				margin += w[j] * v
+			}
+			// w <- (1 - eta*lambda) w [+ eta*yi*xi if margin violated]
+			decay := 1 - eta*m.Lambda
+			if decay < 0 {
+				decay = 0
+			}
+			for j := range w {
+				w[j] *= decay
+			}
+			if yi*margin < 1 {
+				for j, v := range xi {
+					w[j] += eta * yi * v
+				}
+				bias += eta * yi * 0.1 // unregularized, damped bias update
+			}
+		}
+	}
+	m.w, m.bias = w, bias
+	return nil
+}
+
+// Predict returns the class {0, 1}.
+func (m *SVM) Predict(x []float64) float64 {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Decision returns the signed margin wᵀx + b.
+func (m *SVM) Decision(x []float64) float64 {
+	s := m.bias
+	for i, v := range x {
+		s += m.w[i] * v
+	}
+	return s
+}

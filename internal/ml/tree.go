@@ -1,0 +1,466 @@
+// Package ml is the from-scratch supervised-learning library used to
+// train TEVoT: CART decision trees, random forests (the paper's chosen
+// model), k-nearest neighbors, ridge ("linear") regression, and a linear
+// SVM trained with the Pegasos subgradient method — the four methods
+// compared in the paper's Table II — plus dataset utilities and metrics.
+//
+// All learners share the convention that feature vectors are []float64
+// and labels are float64 (class labels are small non-negative integers
+// stored in float64, exact below 2^53).
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mode selects a tree's impurity criterion and leaf aggregation.
+type Mode int
+
+const (
+	// Regression minimizes sum-of-squared-error; leaves predict the mean.
+	Regression Mode = iota
+	// Classification minimizes Gini impurity; leaves predict the
+	// majority class.
+	Classification
+)
+
+// TreeConfig controls decision-tree induction.
+type TreeConfig struct {
+	Mode Mode
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 1).
+	MinLeaf int
+	// MaxFeatures is the number of features examined per split; 0 means
+	// all features (the paper's stated scikit-learn default).
+	MaxFeatures int
+	// Quantiles caps the number of candidate thresholds per feature
+	// (default 8). Features with fewer distinct values use exact
+	// midpoints; binary features always get their single midpoint.
+	Quantiles int
+	// Seed drives the per-split feature subsampling when MaxFeatures > 0.
+	Seed int64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.Quantiles <= 0 {
+		c.Quantiles = 8
+	}
+	return c
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int32
+	threshold float64
+	left      int32 // index into nodes
+	right     int32
+	value     float64 // leaf prediction
+}
+
+// DecisionTree is a CART tree with histogram-style split search: split
+// candidates are fixed per feature over the whole training set, and each
+// node evaluates all of a feature's candidates in one pass.
+type DecisionTree struct {
+	cfg        TreeConfig
+	nodes      []node
+	classes    int       // for Classification: number of classes
+	importance []float64 // per-feature accumulated impurity decrease
+}
+
+// NewDecisionTree returns an unfitted tree.
+func NewDecisionTree(cfg TreeConfig) *DecisionTree {
+	return &DecisionTree{cfg: cfg.withDefaults()}
+}
+
+// Fit builds the tree on the given samples. In Classification mode the
+// labels must be small non-negative integers.
+func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	return t.FitIndices(X, y, idx)
+}
+
+// FitIndices builds the tree on a subset of rows (indices may repeat, as
+// in a bootstrap sample). The idx slice is consumed.
+func (t *DecisionTree) FitIndices(X [][]float64, y []float64, idx []int) error {
+	if len(idx) == 0 || len(X) == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	t.classes = 0
+	if t.cfg.Mode == Classification {
+		for _, i := range idx {
+			v := y[i]
+			if v < 0 || v != math.Trunc(v) {
+				return fmt.Errorf("ml: classification label %v is not a non-negative integer", v)
+			}
+			if int(v)+1 > t.classes {
+				t.classes = int(v) + 1
+			}
+		}
+	}
+	t.nodes = t.nodes[:0]
+	t.importance = make([]float64, len(X[0]))
+	b := &treeBuilder{
+		t:   t,
+		X:   X,
+		y:   y,
+		rng: rand.New(rand.NewSource(t.cfg.Seed)),
+		ths: globalThresholds(X, idx, t.cfg.Quantiles),
+	}
+	nb := 0
+	for _, f := range b.ths {
+		if len(f)+1 > nb {
+			nb = len(f) + 1
+		}
+	}
+	b.bCount = make([]int, nb)
+	b.bSum = make([]float64, nb)
+	b.bSq = make([]float64, nb)
+	if t.cfg.Mode == Classification {
+		b.bClass = make([][]int, nb)
+		for i := range b.bClass {
+			b.bClass[i] = make([]int, t.classes)
+		}
+	}
+	b.grow(idx, 0)
+	return nil
+}
+
+// globalThresholds computes the per-feature split candidates once:
+// midpoints between consecutive distinct values when there are few, else
+// quantile midpoints.
+func globalThresholds(X [][]float64, idx []int, quantiles int) [][]float64 {
+	nf := len(X[0])
+	ths := make([][]float64, nf)
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		// Distinct values, capped.
+		distinct := vals[:0:len(vals)] // reuse storage
+		prev := math.NaN()
+		for _, v := range vals {
+			if v != prev {
+				distinct = append(distinct, v)
+				prev = v
+			}
+		}
+		if len(distinct) < 2 {
+			continue
+		}
+		mids := make([]float64, len(distinct)-1)
+		for j := 1; j < len(distinct); j++ {
+			mids[j-1] = (distinct[j-1] + distinct[j]) / 2
+		}
+		if len(mids) > quantiles {
+			strided := make([]float64, 0, quantiles)
+			for k := 0; k < quantiles; k++ {
+				strided = append(strided, mids[k*len(mids)/quantiles])
+			}
+			mids = strided
+		}
+		ths[f] = mids
+	}
+	return ths
+}
+
+// Predict returns the tree's output for one feature vector.
+func (t *DecisionTree) Predict(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumNodes reports the size of the fitted tree.
+func (t *DecisionTree) NumNodes() int { return len(t.nodes) }
+
+// Importance returns the per-feature accumulated impurity decrease of
+// the fitted tree (unnormalized). The slice is owned by the tree.
+func (t *DecisionTree) Importance() []float64 { return t.importance }
+
+// Depth reports the fitted tree's depth (a leaf-only tree has depth 0).
+func (t *DecisionTree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return walk(0)
+}
+
+type treeBuilder struct {
+	t   *DecisionTree
+	X   [][]float64
+	y   []float64
+	rng *rand.Rand
+	ths [][]float64 // global per-feature candidates
+
+	bCount []int
+	bSum   []float64
+	bSq    []float64
+	bClass [][]int
+}
+
+// grow recursively builds the subtree over idx and returns its node index.
+func (b *treeBuilder) grow(idx []int, depth int) int32 {
+	t := b.t
+	cfg := t.cfg
+
+	leafValue, impurity := b.leafStats(idx)
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: leafValue})
+
+	if impurity <= 1e-12 || len(idx) < 2*cfg.MinLeaf ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return self
+	}
+
+	feat, thr, gain := b.bestSplit(idx, impurity)
+	if feat < 0 || gain <= 1e-12 {
+		return self
+	}
+	t.importance[feat] += gain
+
+	// Partition in place.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if b.X[idx[lo]][feat] <= thr {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	if lo < cfg.MinLeaf || len(idx)-lo < cfg.MinLeaf {
+		return self
+	}
+
+	left := b.grow(idx[:lo], depth+1)
+	right := b.grow(idx[lo:], depth+1)
+	t.nodes[self] = node{feature: int32(feat), threshold: thr, left: left, right: right, value: leafValue}
+	return self
+}
+
+// leafStats returns the leaf prediction and the node impurity (SSE for
+// regression, count-scaled Gini for classification).
+func (b *treeBuilder) leafStats(idx []int) (value, impurity float64) {
+	if b.t.cfg.Mode == Regression {
+		var sum, sumsq float64
+		for _, i := range idx {
+			v := b.y[i]
+			sum += v
+			sumsq += v * v
+		}
+		n := float64(len(idx))
+		mean := sum / n
+		sse := sumsq - sum*mean
+		if sse < 0 {
+			sse = 0 // numerical guard
+		}
+		return mean, sse
+	}
+	counts := make([]int, b.t.classes)
+	for _, i := range idx {
+		counts[int(b.y[i])]++
+	}
+	best, bestN := 0, -1
+	sumSq := 0.0
+	n := float64(len(idx))
+	for c, k := range counts {
+		if k > bestN {
+			best, bestN = c, k
+		}
+		p := float64(k) / n
+		sumSq += p * p
+	}
+	return float64(best), (1 - sumSq) * n
+}
+
+// bestSplit scans (a subset of) features for the split with the largest
+// impurity decrease, evaluating all of a feature's candidate thresholds
+// in one bucketing pass.
+func (b *treeBuilder) bestSplit(idx []int, parent float64) (feat int, thr, gain float64) {
+	feat = -1
+	for _, f := range b.featureOrder(len(b.X[0])) {
+		ths := b.ths[f]
+		if len(ths) == 0 {
+			continue
+		}
+		var g, tv float64
+		var ok bool
+		if b.t.cfg.Mode == Regression {
+			g, tv, ok = b.scanRegression(idx, f, ths, parent)
+		} else {
+			g, tv, ok = b.scanGini(idx, f, ths, parent)
+		}
+		if ok && g > gain {
+			feat, thr, gain = f, tv, g
+		}
+	}
+	return feat, thr, gain
+}
+
+// featureOrder returns all features, or a random subset of MaxFeatures.
+func (b *treeBuilder) featureOrder(nf int) []int {
+	mf := b.t.cfg.MaxFeatures
+	if mf <= 0 || mf >= nf {
+		all := make([]int, nf)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return b.rng.Perm(nf)[:mf]
+}
+
+// bucketOf locates the bucket of v among thresholds ths: the number of
+// thresholds strictly below v... bucket k holds values in
+// (ths[k-1], ths[k]].
+func bucketOf(v float64, ths []float64) int {
+	k := 0
+	for k < len(ths) && v > ths[k] {
+		k++
+	}
+	return k
+}
+
+// scanRegression buckets the node's samples once and sweeps the buckets
+// to find the best SSE-decreasing threshold of feature f.
+func (b *treeBuilder) scanRegression(idx []int, f int, ths []float64, parent float64) (gain, thr float64, ok bool) {
+	nb := len(ths) + 1
+	for k := 0; k < nb; k++ {
+		b.bCount[k] = 0
+		b.bSum[k] = 0
+		b.bSq[k] = 0
+	}
+	for _, i := range idx {
+		k := bucketOf(b.X[i][f], ths)
+		v := b.y[i]
+		b.bCount[k]++
+		b.bSum[k] += v
+		b.bSq[k] += v * v
+	}
+	var totSum, totSq float64
+	tot := 0
+	for k := 0; k < nb; k++ {
+		tot += b.bCount[k]
+		totSum += b.bSum[k]
+		totSq += b.bSq[k]
+	}
+	var nL int
+	var sumL, sqL float64
+	minLeaf := b.t.cfg.MinLeaf
+	for k := 0; k < len(ths); k++ {
+		nL += b.bCount[k]
+		sumL += b.bSum[k]
+		sqL += b.bSq[k]
+		nR := tot - nL
+		if nL < minLeaf || nR < minLeaf {
+			continue
+		}
+		sumR := totSum - sumL
+		sqR := totSq - sqL
+		sseL := sqL - sumL*sumL/float64(nL)
+		sseR := sqR - sumR*sumR/float64(nR)
+		if g := parent - sseL - sseR; g > gain {
+			gain, thr, ok = g, ths[k], true
+		}
+	}
+	return gain, thr, ok
+}
+
+// scanGini is scanRegression's classification counterpart.
+func (b *treeBuilder) scanGini(idx []int, f int, ths []float64, parent float64) (gain, thr float64, ok bool) {
+	nb := len(ths) + 1
+	kcls := b.t.classes
+	for k := 0; k < nb; k++ {
+		b.bCount[k] = 0
+		cl := b.bClass[k]
+		for c := range cl {
+			cl[c] = 0
+		}
+	}
+	for _, i := range idx {
+		k := bucketOf(b.X[i][f], ths)
+		b.bCount[k]++
+		b.bClass[k][int(b.y[i])]++
+	}
+	tot := 0
+	totClass := make([]int, kcls)
+	for k := 0; k < nb; k++ {
+		tot += b.bCount[k]
+		for c := 0; c < kcls; c++ {
+			totClass[c] += b.bClass[k][c]
+		}
+	}
+	nL := 0
+	classL := make([]int, kcls)
+	minLeaf := b.t.cfg.MinLeaf
+	gini := func(counts []int, n int, sub []int) float64 {
+		s := 0.0
+		fn := float64(n)
+		for c := range counts {
+			var k int
+			if sub == nil {
+				k = counts[c]
+			} else {
+				k = counts[c] - sub[c]
+			}
+			p := float64(k) / fn
+			s += p * p
+		}
+		return (1 - s) * fn
+	}
+	for k := 0; k < len(ths); k++ {
+		nL += b.bCount[k]
+		for c := 0; c < kcls; c++ {
+			classL[c] += b.bClass[k][c]
+		}
+		nR := tot - nL
+		if nL < minLeaf || nR < minLeaf {
+			continue
+		}
+		g := parent - gini(classL, nL, nil) - gini(totClass, nR, classL)
+		if g > gain {
+			gain, thr, ok = g, ths[k], true
+		}
+	}
+	return gain, thr, ok
+}

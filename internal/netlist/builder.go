@@ -1,0 +1,159 @@
+package netlist
+
+import (
+	"fmt"
+
+	"tevot/internal/cells"
+)
+
+// Builder incrementally constructs a Netlist. It is the API the circuit
+// generators in internal/circuits use. Methods panic on structural misuse
+// (wrong arity, unknown nets) because generator bugs are programming
+// errors, not runtime conditions; Build performs a final Validate and
+// returns an error for anything that slipped through.
+type Builder struct {
+	nl      *Netlist
+	gateSeq int
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{nl: &Netlist{Name: name, Const0: -1, Const1: -1}}
+}
+
+// newNet appends a net and returns its id.
+func (b *Builder) newNet(name string, driver GateID) NetID {
+	id := NetID(len(b.nl.Nets))
+	b.nl.Nets = append(b.nl.Nets, Net{Name: name, Driver: driver})
+	return id
+}
+
+// Input declares a single-bit primary input and returns its net.
+func (b *Builder) Input(name string) NetID {
+	id := b.newNet(name, None)
+	b.nl.PrimaryInputs = append(b.nl.PrimaryInputs, id)
+	return id
+}
+
+// InputBus declares a width-bit primary input bus, least significant bit
+// first, and returns its nets.
+func (b *Builder) InputBus(name string, width int) []NetID {
+	bus := make([]NetID, width)
+	for i := range bus {
+		bus[i] = b.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return bus
+}
+
+// Output marks a net as a primary output.
+func (b *Builder) Output(id NetID) { b.nl.PrimaryOutputs = append(b.nl.PrimaryOutputs, id) }
+
+// OutputBus marks all nets of a bus as primary outputs, LSB first.
+func (b *Builder) OutputBus(bus []NetID) {
+	for _, id := range bus {
+		b.Output(id)
+	}
+}
+
+// NameNet renames a net; used by generators to give output nets proper
+// port names ("s[3]") instead of the driving gate's auto-generated one.
+func (b *Builder) NameNet(id NetID, name string) {
+	b.nl.Nets[id].Name = name
+}
+
+// NamedOutputBus renames each net of the bus to base[i] and marks it as
+// a primary output.
+func (b *Builder) NamedOutputBus(base string, bus []NetID) {
+	for i, id := range bus {
+		b.NameNet(id, fmt.Sprintf("%s[%d]", base, i))
+	}
+	b.OutputBus(bus)
+}
+
+// Const0 returns the constant-0 net, creating it on first use.
+func (b *Builder) Const0() NetID {
+	if b.nl.Const0 < 0 {
+		b.nl.Const0 = b.newNet("tie0", None)
+	}
+	return b.nl.Const0
+}
+
+// Const1 returns the constant-1 net, creating it on first use.
+func (b *Builder) Const1() NetID {
+	if b.nl.Const1 < 0 {
+		b.nl.Const1 = b.newNet("tie1", None)
+	}
+	return b.nl.Const1
+}
+
+// Gate instantiates a cell of the given kind reading the given input nets
+// and returns its output net. The instance is named automatically
+// ("u<N>_<kind>"); use NamedGate when a stable meaningful name matters
+// (e.g. for SDF correlation in tests).
+func (b *Builder) Gate(kind cells.Kind, inputs ...NetID) NetID {
+	return b.NamedGate(fmt.Sprintf("u%d_%s", b.gateSeq, kind), kind, inputs...)
+}
+
+// NamedGate is Gate with an explicit instance name.
+func (b *Builder) NamedGate(name string, kind cells.Kind, inputs ...NetID) NetID {
+	if len(inputs) != kind.NumInputs() {
+		panic(fmt.Sprintf("netlist: %s requires %d inputs, got %d", kind, kind.NumInputs(), len(inputs)))
+	}
+	for _, in := range inputs {
+		if in < 0 || int(in) >= len(b.nl.Nets) {
+			panic(fmt.Sprintf("netlist: gate %s reads undeclared net %d", name, in))
+		}
+	}
+	gid := GateID(len(b.nl.Gates))
+	b.gateSeq++
+	out := b.newNet(name+"_out", gid)
+	ins := make([]NetID, len(inputs))
+	copy(ins, inputs)
+	b.nl.Gates = append(b.nl.Gates, Gate{Name: name, Kind: kind, Inputs: ins, Output: out})
+	for _, in := range ins {
+		b.nl.Nets[in].Fanout = append(b.nl.Nets[in].Fanout, gid)
+	}
+	return out
+}
+
+// Convenience constructors for each cell kind.
+
+func (b *Builder) Buf(a NetID) NetID         { return b.Gate(cells.Buf, a) }
+func (b *Builder) Not(a NetID) NetID         { return b.Gate(cells.Inv, a) }
+func (b *Builder) And(a, c NetID) NetID      { return b.Gate(cells.And2, a, c) }
+func (b *Builder) Or(a, c NetID) NetID       { return b.Gate(cells.Or2, a, c) }
+func (b *Builder) Nand(a, c NetID) NetID     { return b.Gate(cells.Nand2, a, c) }
+func (b *Builder) Nor(a, c NetID) NetID      { return b.Gate(cells.Nor2, a, c) }
+func (b *Builder) Xor(a, c NetID) NetID      { return b.Gate(cells.Xor2, a, c) }
+func (b *Builder) Xnor(a, c NetID) NetID     { return b.Gate(cells.Xnor2, a, c) }
+func (b *Builder) And3(a, c, d NetID) NetID  { return b.Gate(cells.And3, a, c, d) }
+func (b *Builder) Or3(a, c, d NetID) NetID   { return b.Gate(cells.Or3, a, c, d) }
+func (b *Builder) Nand3(a, c, d NetID) NetID { return b.Gate(cells.Nand3, a, c, d) }
+func (b *Builder) Nor3(a, c, d NetID) NetID  { return b.Gate(cells.Nor3, a, c, d) }
+
+// Mux returns sel ? d1 : d0.
+func (b *Builder) Mux(d0, d1, sel NetID) NetID { return b.Gate(cells.Mux2, d0, d1, sel) }
+
+// Build finalizes the netlist, validates it, and returns it. The Builder
+// must not be used afterwards.
+func (b *Builder) Build() (*Netlist, error) {
+	nl := b.nl
+	b.nl = nil
+	if len(nl.PrimaryOutputs) == 0 {
+		return nil, fmt.Errorf("netlist %q: no primary outputs declared", nl.Name)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// MustBuild is Build for generators whose construction is statically
+// known-correct; it panics on error.
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}

@@ -1,0 +1,48 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the netlist as a Graphviz digraph for inspection:
+// primary inputs and outputs as ovals, gates as boxes labeled with the
+// instance name and cell kind. Intended for the small illustrative
+// circuits (full FUs render, but a 3000-gate graph is not for human
+// eyes).
+func (n *Netlist) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	for _, pi := range n.PrimaryInputs {
+		fmt.Fprintf(bw, "  %q [shape=oval, color=blue];\n", "net_"+n.Nets[pi].Name)
+	}
+	outSet := make(map[NetID]bool, len(n.PrimaryOutputs))
+	for _, po := range n.PrimaryOutputs {
+		outSet[po] = true
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		fmt.Fprintf(bw, "  %q [shape=box, label=\"%s\\n%s\"];\n", "g_"+g.Name, g.Name, g.Kind)
+		for _, in := range g.Inputs {
+			src := "g_" + driverName(n, in)
+			if n.Nets[in].Driver == None {
+				src = "net_" + n.Nets[in].Name
+			}
+			fmt.Fprintf(bw, "  %q -> %q;\n", src, "g_"+g.Name)
+		}
+		if outSet[g.Output] {
+			fmt.Fprintf(bw, "  %q [shape=oval, color=red];\n", "out_"+n.Nets[g.Output].Name)
+			fmt.Fprintf(bw, "  %q -> %q;\n", "g_"+g.Name, "out_"+n.Nets[g.Output].Name)
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func driverName(n *Netlist, id NetID) string {
+	if d := n.Nets[id].Driver; d != None {
+		return n.Gates[d].Name
+	}
+	return n.Nets[id].Name
+}

@@ -1,0 +1,38 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder("dotted")
+	x := b.Input("x")
+	y := b.Input("y")
+	o := b.And(x, b.Not(y))
+	b.Output(o)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"digraph \"dotted\"",
+		"net_x", "net_y", // inputs
+		"AND2", "INV", // gate labels
+		"shape=oval, color=red", // an output marker
+		"->",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(s), "}") {
+		t.Error("DOT output not closed")
+	}
+}

@@ -1,0 +1,274 @@
+// Package netlist defines the gate-level circuit representation shared by
+// the whole substrate: a directed graph of primitive cells and nets, a
+// builder API used by the circuit generators, topological levelization,
+// and zero-delay functional evaluation.
+//
+// The representation is deliberately flat — one combinational cloud
+// between an input register bank and an output register bank — because
+// that is exactly the shape of the functional units the paper models: the
+// sequential elements only define the sampling instant; all timing
+// behaviour lives in the combinational cloud.
+package netlist
+
+import (
+	"fmt"
+
+	"tevot/internal/cells"
+)
+
+// NetID indexes a net in a Netlist. Nets are single-driver: either a
+// primary input or the output of exactly one gate.
+type NetID int32
+
+// GateID indexes a gate in a Netlist.
+type GateID int32
+
+// None marks the absence of a driver gate (the net is a primary input or a
+// constant).
+const None GateID = -1
+
+// Gate is one instance of a library cell.
+type Gate struct {
+	Name   string
+	Kind   cells.Kind
+	Inputs []NetID
+	Output NetID
+}
+
+// Net is a single-driver wire.
+type Net struct {
+	Name   string
+	Driver GateID   // None for primary inputs and constants
+	Fanout []GateID // gates reading this net
+}
+
+// Netlist is an immutable combinational circuit once built.
+type Netlist struct {
+	Name  string
+	Gates []Gate
+	Nets  []Net
+
+	// PrimaryInputs and PrimaryOutputs are the register-boundary nets, in
+	// declaration order (bit 0 of a bus first).
+	PrimaryInputs  []NetID
+	PrimaryOutputs []NetID
+
+	// Const0 and Const1 are valid if >= 0: nets tied to logic 0/1.
+	Const0, Const1 NetID
+
+	level []int32 // per-gate topological level, built by Levelize
+	order []GateID
+}
+
+// NumGates reports the number of gate instances.
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// NumNets reports the number of nets.
+func (n *Netlist) NumNets() int { return len(n.Nets) }
+
+// IsInput reports whether id is a primary input net.
+func (n *Netlist) IsInput(id NetID) bool {
+	return n.Nets[id].Driver == None && id != n.Const0 && id != n.Const1
+}
+
+// TopoOrder returns gates in a topological order (inputs before users).
+// The order is computed once and cached.
+func (n *Netlist) TopoOrder() ([]GateID, error) {
+	if n.order != nil {
+		return n.order, nil
+	}
+	if err := n.levelize(); err != nil {
+		return nil, err
+	}
+	return n.order, nil
+}
+
+// Levels returns the per-gate topological level (primary-input-driven
+// gates are level 1). Level 0 is reserved for nets with no driver.
+func (n *Netlist) Levels() ([]int32, error) {
+	if n.level == nil {
+		if err := n.levelize(); err != nil {
+			return nil, err
+		}
+	}
+	return n.level, nil
+}
+
+// Depth returns the maximum topological level, a structural (unit-delay)
+// depth of the circuit.
+func (n *Netlist) Depth() (int, error) {
+	lv, err := n.Levels()
+	if err != nil {
+		return 0, err
+	}
+	max := int32(0)
+	for _, l := range lv {
+		if l > max {
+			max = l
+		}
+	}
+	return int(max), nil
+}
+
+// levelize computes a topological order with Kahn's algorithm and per-gate
+// levels. It fails on combinational loops.
+func (n *Netlist) levelize() error {
+	indeg := make([]int32, len(n.Gates))
+	netLevel := make([]int32, len(n.Nets))
+	for gi := range n.Gates {
+		for _, in := range n.Gates[gi].Inputs {
+			if n.Nets[in].Driver != None {
+				indeg[gi]++
+			}
+		}
+	}
+	order := make([]GateID, 0, len(n.Gates))
+	queue := make([]GateID, 0, len(n.Gates))
+	for gi := range n.Gates {
+		if indeg[gi] == 0 {
+			queue = append(queue, GateID(gi))
+		}
+	}
+	level := make([]int32, len(n.Gates))
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		order = append(order, g)
+		gate := &n.Gates[g]
+		lv := int32(0)
+		for _, in := range gate.Inputs {
+			if netLevel[in] > lv {
+				lv = netLevel[in]
+			}
+		}
+		level[g] = lv + 1
+		netLevel[gate.Output] = lv + 1
+		for _, fo := range n.Nets[gate.Output].Fanout {
+			indeg[fo]--
+			if indeg[fo] == 0 {
+				queue = append(queue, fo)
+			}
+		}
+	}
+	if len(order) != len(n.Gates) {
+		return fmt.Errorf("netlist %q: combinational loop detected (%d of %d gates ordered)",
+			n.Name, len(order), len(n.Gates))
+	}
+	n.order = order
+	n.level = level
+	return nil
+}
+
+// Eval computes the settled output values for the given primary-input
+// assignment using zero-delay evaluation in topological order. inputs must
+// have one value per primary input, in PrimaryInputs order. The returned
+// slice has one value per primary output.
+func (n *Netlist) Eval(inputs []bool) ([]bool, error) {
+	vals := make([]bool, len(n.Nets))
+	if err := n.EvalInto(inputs, vals); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(n.PrimaryOutputs))
+	for i, po := range n.PrimaryOutputs {
+		out[i] = vals[po]
+	}
+	return out, nil
+}
+
+// EvalInto is like Eval but fills the caller-provided per-net value slice
+// (length NumNets), allowing allocation-free repeated evaluation. After it
+// returns, vals[id] holds the settled value of every net.
+func (n *Netlist) EvalInto(inputs []bool, vals []bool) error {
+	if len(inputs) != len(n.PrimaryInputs) {
+		return fmt.Errorf("netlist %q: got %d input values, want %d",
+			n.Name, len(inputs), len(n.PrimaryInputs))
+	}
+	if len(vals) != len(n.Nets) {
+		return fmt.Errorf("netlist %q: value buffer has %d entries, want %d",
+			n.Name, len(vals), len(n.Nets))
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	if n.Const1 >= 0 {
+		vals[n.Const1] = true
+	}
+	if n.Const0 >= 0 {
+		vals[n.Const0] = false
+	}
+	for i, pi := range n.PrimaryInputs {
+		vals[pi] = inputs[i]
+	}
+	var inBuf [3]bool
+	for _, g := range order {
+		gate := &n.Gates[g]
+		in := inBuf[:len(gate.Inputs)]
+		for j, id := range gate.Inputs {
+			in[j] = vals[id]
+		}
+		vals[gate.Output] = gate.Kind.Eval(in)
+	}
+	return nil
+}
+
+// Validate checks structural invariants: arities match cell kinds, net
+// driver/fanout cross-references are consistent, primary outputs exist,
+// and the circuit is acyclic.
+func (n *Netlist) Validate() error {
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if want := g.Kind.NumInputs(); len(g.Inputs) != want {
+			return fmt.Errorf("netlist %q: gate %s (%s) has %d inputs, want %d",
+				n.Name, g.Name, g.Kind, len(g.Inputs), want)
+		}
+		if g.Output < 0 || int(g.Output) >= len(n.Nets) {
+			return fmt.Errorf("netlist %q: gate %s output net out of range", n.Name, g.Name)
+		}
+		if n.Nets[g.Output].Driver != GateID(gi) {
+			return fmt.Errorf("netlist %q: net %q driver mismatch for gate %s",
+				n.Name, n.Nets[g.Output].Name, g.Name)
+		}
+		for _, in := range g.Inputs {
+			if in < 0 || int(in) >= len(n.Nets) {
+				return fmt.Errorf("netlist %q: gate %s input net out of range", n.Name, g.Name)
+			}
+		}
+	}
+	for ni := range n.Nets {
+		net := &n.Nets[ni]
+		for _, fo := range net.Fanout {
+			if fo < 0 || int(fo) >= len(n.Gates) {
+				return fmt.Errorf("netlist %q: net %q fanout out of range", n.Name, net.Name)
+			}
+			found := false
+			for _, in := range n.Gates[fo].Inputs {
+				if in == NetID(ni) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("netlist %q: net %q lists gate %s as fanout but gate does not read it",
+					n.Name, net.Name, n.Gates[fo].Name)
+			}
+		}
+	}
+	for _, po := range n.PrimaryOutputs {
+		if po < 0 || int(po) >= len(n.Nets) {
+			return fmt.Errorf("netlist %q: primary output net out of range", n.Name)
+		}
+	}
+	_, err := n.TopoOrder()
+	return err
+}
+
+// GateCounts returns the number of instances of each cell kind, keyed by
+// the kind's string name. Useful for reporting circuit composition.
+func (n *Netlist) GateCounts() map[string]int {
+	m := make(map[string]int)
+	for gi := range n.Gates {
+		m[n.Gates[gi].Kind.String()]++
+	}
+	return m
+}

@@ -1,0 +1,269 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tevot/internal/cells"
+)
+
+// buildFig1 constructs the illustrative circuit from the paper's Fig. 1:
+// two inputs x, y; an inverter on y; an AND of x and the inverted y; the
+// AND output is the primary output. The exact gates differ from the
+// figure's sketch, but it serves the same purpose: a tiny circuit whose
+// sensitized path depends on which input toggles.
+func buildFig1(t *testing.T) *Netlist {
+	t.Helper()
+	b := NewBuilder("fig1")
+	x := b.Input("x")
+	y := b.Input("y")
+	ny := b.Not(y)
+	o := b.And(x, ny)
+	b.Output(o)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestBuilderBasics(t *testing.T) {
+	nl := buildFig1(t)
+	if got := nl.NumGates(); got != 2 {
+		t.Errorf("NumGates = %d, want 2", got)
+	}
+	if got := len(nl.PrimaryInputs); got != 2 {
+		t.Errorf("inputs = %d, want 2", got)
+	}
+	if got := len(nl.PrimaryOutputs); got != 1 {
+		t.Errorf("outputs = %d, want 1", got)
+	}
+	for _, tc := range []struct {
+		x, y, want bool
+	}{
+		{false, false, false},
+		{true, false, true},
+		{false, true, false},
+		{true, true, false},
+	} {
+		out, err := nl.Eval([]bool{tc.x, tc.y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.want {
+			t.Errorf("Eval(x=%v,y=%v) = %v, want %v", tc.x, tc.y, out[0], tc.want)
+		}
+	}
+}
+
+func TestInputBusOrderIsLSBFirst(t *testing.T) {
+	b := NewBuilder("bus")
+	a := b.InputBus("a", 4)
+	b.OutputBus(a)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := nl.Nets[a[0]].Name; name != "a[0]" {
+		t.Errorf("first bus net named %q, want a[0]", name)
+	}
+	if name := nl.Nets[a[3]].Name; name != "a[3]" {
+		t.Errorf("last bus net named %q, want a[3]", name)
+	}
+}
+
+func TestConstNets(t *testing.T) {
+	b := NewBuilder("const")
+	x := b.Input("x")
+	o1 := b.And(x, b.Const1())
+	o0 := b.Or(x, b.Const0())
+	b.Output(o1)
+	b.Output(o0)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []bool{false, true} {
+		out, err := nl.Eval([]bool{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != v || out[1] != v {
+			t.Errorf("const identities broken for x=%v: got %v", v, out)
+		}
+	}
+	if nl.IsInput(nl.Const0) || nl.IsInput(nl.Const1) {
+		t.Error("constant nets must not be classified as primary inputs")
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	// Chain of 5 inverters: depth 5.
+	b := NewBuilder("chain")
+	x := b.Input("x")
+	n := x
+	for i := 0; i < 5; i++ {
+		n = b.Not(n)
+	}
+	b.Output(n)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := nl.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("Depth = %d, want 5", d)
+	}
+	lv, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lv {
+		if int(l) != i+1 {
+			t.Errorf("gate %d level = %d, want %d", i, l, i+1)
+		}
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	b := NewBuilder("topo")
+	x := b.Input("x")
+	y := b.Input("y")
+	a := b.And(x, y)
+	o := b.Or(a, x)
+	b.Output(o)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[GateID]int)
+	for i, g := range order {
+		pos[g] = i
+	}
+	for gi := range nl.Gates {
+		for _, in := range nl.Gates[gi].Inputs {
+			if drv := nl.Nets[in].Driver; drv != None {
+				if pos[drv] >= pos[GateID(gi)] {
+					t.Errorf("gate %d scheduled before its driver %d", gi, drv)
+				}
+			}
+		}
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	// Hand-assemble a loop: g0 = AND(x, g1.out), g1 = BUF(g0.out).
+	nl := &Netlist{Name: "loop", Const0: -1, Const1: -1}
+	nl.Nets = []Net{
+		{Name: "x", Driver: None},
+		{Name: "n0", Driver: 0},
+		{Name: "n1", Driver: 1},
+	}
+	nl.Gates = []Gate{
+		{Name: "g0", Kind: cells.And2, Inputs: []NetID{0, 2}, Output: 1},
+		{Name: "g1", Kind: cells.Buf, Inputs: []NetID{1}, Output: 2},
+	}
+	nl.Nets[0].Fanout = []GateID{0}
+	nl.Nets[1].Fanout = []GateID{1}
+	nl.Nets[2].Fanout = []GateID{0}
+	nl.PrimaryInputs = []NetID{0}
+	nl.PrimaryOutputs = []NetID{2}
+	err := nl.Validate()
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("Validate on cyclic netlist: err=%v, want loop error", err)
+	}
+}
+
+func TestEvalInputLengthMismatch(t *testing.T) {
+	nl := buildFig1(t)
+	if _, err := nl.Eval([]bool{true}); err == nil {
+		t.Fatal("Eval with wrong input count succeeded; want error")
+	}
+}
+
+func TestEvalIntoBufferMismatch(t *testing.T) {
+	nl := buildFig1(t)
+	if err := nl.EvalInto([]bool{true, false}, make([]bool, 1)); err == nil {
+		t.Fatal("EvalInto with wrong buffer size succeeded; want error")
+	}
+}
+
+func TestBuildWithoutOutputsFails(t *testing.T) {
+	b := NewBuilder("empty")
+	b.Input("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with no outputs succeeded; want error")
+	}
+}
+
+func TestGatePanicsOnBadArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gate with wrong arity did not panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	x := b.Input("x")
+	b.Gate(cells.And2, x) // one input for a 2-input cell
+}
+
+func TestGateCounts(t *testing.T) {
+	nl := buildFig1(t)
+	counts := nl.GateCounts()
+	if counts["INV"] != 1 || counts["AND2"] != 1 {
+		t.Errorf("GateCounts = %v, want 1 INV and 1 AND2", counts)
+	}
+}
+
+// TestEvalMatchesMuxTree checks a 4:1 mux built from MUX2 cells against
+// direct selection, via testing/quick.
+func TestEvalMatchesMuxTree(t *testing.T) {
+	b := NewBuilder("mux4")
+	d := b.InputBus("d", 4)
+	s := b.InputBus("s", 2)
+	m0 := b.Mux(d[0], d[1], s[0])
+	m1 := b.Mux(d[2], d[3], s[0])
+	o := b.Mux(m0, m1, s[1])
+	b.Output(o)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(dv, sv uint8) bool {
+		in := make([]bool, 6)
+		for i := 0; i < 4; i++ {
+			in[i] = dv>>i&1 == 1
+		}
+		in[4] = sv&1 == 1
+		in[5] = sv>>1&1 == 1
+		out, err := nl.Eval(in)
+		if err != nil {
+			return false
+		}
+		sel := int(sv & 3)
+		return out[0] == (dv>>sel&1 == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateCatchesCorruptedFanout ensures Validate rejects a netlist
+// whose fanout list references a non-reader gate.
+func TestValidateCatchesCorruptedFanout(t *testing.T) {
+	nl := buildFig1(t)
+	// Corrupt: claim the output net feeds gate 0 (which doesn't read it).
+	out := nl.Gates[1].Output
+	nl.Nets[out].Fanout = append(nl.Nets[out].Fanout, 0)
+	if err := nl.Validate(); err == nil {
+		t.Fatal("Validate accepted corrupted fanout")
+	}
+}

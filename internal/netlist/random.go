@@ -1,0 +1,67 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tevot/internal/cells"
+)
+
+// RandomOptions sizes a randomly generated combinational circuit.
+type RandomOptions struct {
+	Inputs  int // primary inputs (>= 1)
+	Gates   int // internal gates (>= 1)
+	Outputs int // primary outputs (1 .. Gates)
+	Seed    int64
+}
+
+// Random generates a random combinational DAG: each gate draws a random
+// kind and reads randomly chosen earlier nets (so the result is acyclic
+// by construction). It is the fuzzing substrate for the cross-checks
+// between functional evaluation, event-driven simulation, and static
+// timing analysis.
+func Random(opts RandomOptions) (*Netlist, error) {
+	if opts.Inputs < 1 || opts.Gates < 1 {
+		return nil, fmt.Errorf("netlist: random circuit needs inputs and gates, got %+v", opts)
+	}
+	if opts.Outputs < 1 || opts.Outputs > opts.Gates {
+		return nil, fmt.Errorf("netlist: random circuit outputs %d outside [1, %d]", opts.Outputs, opts.Gates)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	b := NewBuilder(fmt.Sprintf("random_%d", opts.Seed))
+
+	nets := make([]NetID, 0, opts.Inputs+opts.Gates)
+	for i := 0; i < opts.Inputs; i++ {
+		nets = append(nets, b.Input(fmt.Sprintf("in[%d]", i)))
+	}
+	kinds := []cells.Kind{
+		cells.Buf, cells.Inv, cells.And2, cells.Or2, cells.Nand2,
+		cells.Nor2, cells.Xor2, cells.Xnor2, cells.And3, cells.Or3,
+		cells.Nand3, cells.Nor3, cells.Mux2,
+	}
+	gateOuts := make([]NetID, 0, opts.Gates)
+	for g := 0; g < opts.Gates; g++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		ins := make([]NetID, kind.NumInputs())
+		for i := range ins {
+			// Bias toward recent nets so the circuit gets deep, not flat.
+			pick := len(nets) - 1 - rng.Intn(min(len(nets), 8))
+			ins[i] = nets[pick]
+		}
+		out := b.Gate(kind, ins...)
+		nets = append(nets, out)
+		gateOuts = append(gateOuts, out)
+	}
+	// Mark the last gates as outputs (they have the deepest logic).
+	for _, out := range gateOuts[len(gateOuts)-opts.Outputs:] {
+		b.Output(out)
+	}
+	return b.Build()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,346 @@
+package netlist
+
+import (
+	"fmt"
+
+	"tevot/internal/cells"
+)
+
+// SimplifyStats reports what Simplify did.
+type SimplifyStats struct {
+	GatesBefore int
+	GatesAfter  int
+	Folded      int // gates removed by constant folding / aliasing
+	Dead        int // gates removed as unreachable from outputs
+}
+
+// Simplify returns a functionally equivalent netlist with constants
+// propagated, trivial gates (buffers, gates with constant inputs)
+// folded away, and logic not reachable from any primary output removed.
+// It is the light technology-independent cleanup a synthesis flow runs
+// after structural generation; the circuit generators intentionally
+// leave such gates in (tie cells, pass-through buffers) so this pass has
+// real work on real netlists.
+func Simplify(nl *Netlist) (*Netlist, SimplifyStats, error) {
+	stats := SimplifyStats{GatesBefore: nl.NumGates()}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Lattice per net: unknown (alias to itself), alias to another net,
+	// or constant.
+	const (
+		vUnknown = iota
+		vConst0
+		vConst1
+		vAlias
+	)
+	kind := make([]uint8, nl.NumNets())
+	alias := make([]NetID, nl.NumNets())
+	for i := range alias {
+		alias[i] = NetID(i)
+	}
+	if nl.Const0 >= 0 {
+		kind[nl.Const0] = vConst0
+	}
+	if nl.Const1 >= 0 {
+		kind[nl.Const1] = vConst1
+	}
+	resolve := func(id NetID) (uint8, NetID) {
+		for kind[id] == vAlias {
+			id = alias[id]
+		}
+		return kind[id], id
+	}
+
+	// Fold pass: decide, per gate, constant / alias / keep (with a
+	// possibly rewritten cell kind).
+	type keepGate struct {
+		name   string
+		kind   cells.Kind
+		inputs []NetID // resolved original-net ids
+	}
+	kept := make(map[GateID]*keepGate)
+	for _, gi := range order {
+		g := &nl.Gates[gi]
+		ins := make([]NetID, len(g.Inputs))
+		vals := make([]uint8, len(g.Inputs))
+		for j, in := range g.Inputs {
+			vals[j], ins[j] = resolve(in)
+		}
+		newKind, folded := foldGate(g.Kind, vals, ins)
+		switch {
+		case folded == foldConst0:
+			kind[g.Output] = vConst0
+			stats.Folded++
+		case folded == foldConst1:
+			kind[g.Output] = vConst1
+			stats.Folded++
+		case folded == foldAlias:
+			kind[g.Output] = vAlias
+			alias[g.Output] = ins[0] // foldGate puts the alias source first
+			stats.Folded++
+		default:
+			kept[gi] = &keepGate{name: g.Name, kind: newKind.kind, inputs: newKind.inputs}
+		}
+	}
+
+	// Liveness: walk back from the (resolved) primary outputs.
+	live := make(map[GateID]bool)
+	var visit func(id NetID)
+	visit = func(id NetID) {
+		_, id = resolve(id)
+		drv := nl.Nets[id].Driver
+		if drv == None || live[drv] {
+			return
+		}
+		kg, ok := kept[drv]
+		if !ok {
+			return // folded away
+		}
+		live[drv] = true
+		for _, in := range kg.inputs {
+			visit(in)
+		}
+	}
+	for _, po := range nl.PrimaryOutputs {
+		visit(po)
+	}
+	stats.Dead = len(kept) - len(live)
+
+	// Rebuild with the Builder, preserving input order and names.
+	b := NewBuilder(nl.Name)
+	newID := make(map[NetID]NetID, nl.NumNets())
+	for _, pi := range nl.PrimaryInputs {
+		newID[pi] = b.Input(nl.Nets[pi].Name)
+	}
+	mapNet := func(id NetID) (NetID, error) {
+		k, root := resolve(id)
+		switch k {
+		case vConst0:
+			return b.Const0(), nil
+		case vConst1:
+			return b.Const1(), nil
+		}
+		out, ok := newID[root]
+		if !ok {
+			return 0, fmt.Errorf("netlist: simplify lost net %q", nl.Nets[root].Name)
+		}
+		return out, nil
+	}
+	for _, gi := range order {
+		kg, ok := kept[gi]
+		if !ok || !live[gi] {
+			continue
+		}
+		ins := make([]NetID, len(kg.inputs))
+		for j, in := range kg.inputs {
+			mapped, err := mapNet(in)
+			if err != nil {
+				return nil, stats, err
+			}
+			ins[j] = mapped
+		}
+		newID[nl.Gates[gi].Output] = b.NamedGate(kg.name, kg.kind, ins...)
+	}
+	for _, po := range nl.PrimaryOutputs {
+		mapped, err := mapNet(po)
+		if err != nil {
+			return nil, stats, err
+		}
+		b.Output(mapped)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.GatesAfter = out.NumGates()
+	return out, stats, nil
+}
+
+type foldResult int
+
+const (
+	foldKeep foldResult = iota
+	foldConst0
+	foldConst1
+	foldAlias // alias to ins[0] after foldGate reorders
+)
+
+type rewritten struct {
+	kind   cells.Kind
+	inputs []NetID
+}
+
+// foldGate decides a gate's fate given the lattice values of its
+// (resolved) inputs. vals uses the Simplify lattice encoding; ins is
+// reordered in place so that for foldAlias the source is ins[0].
+func foldGate(k cells.Kind, vals []uint8, ins []NetID) (rewritten, foldResult) {
+	const (
+		vUnknown = iota
+		vConst0
+		vConst1
+	)
+	isC := func(j int) bool { return vals[j] == vConst0 || vals[j] == vConst1 }
+	bit := func(j int) bool { return vals[j] == vConst1 }
+
+	// All-constant inputs: evaluate outright.
+	all := true
+	for j := range vals {
+		if !isC(j) {
+			all = false
+			break
+		}
+	}
+	if all {
+		in := make([]bool, len(vals))
+		for j := range vals {
+			in[j] = bit(j)
+		}
+		if k.Eval(in) {
+			return rewritten{}, foldConst1
+		}
+		return rewritten{}, foldConst0
+	}
+
+	switch k {
+	case cells.Buf:
+		return rewritten{}, foldAlias
+	case cells.Inv:
+		return rewritten{kind: k, inputs: ins}, foldKeep
+	case cells.And2, cells.Or2, cells.Nand2, cells.Nor2, cells.Xor2, cells.Xnor2:
+		ci, xi := -1, -1 // constant and non-constant operand
+		for j := 0; j < 2; j++ {
+			if isC(j) {
+				ci = j
+			} else {
+				xi = j
+			}
+		}
+		if ci < 0 {
+			// Identical unknown operands: x op x.
+			if ins[0] == ins[1] {
+				switch k {
+				case cells.And2, cells.Or2:
+					return rewritten{}, foldAlias
+				case cells.Nand2, cells.Nor2:
+					return rewritten{kind: cells.Inv, inputs: ins[:1]}, foldKeep
+				case cells.Xor2:
+					return rewritten{}, foldConst0
+				case cells.Xnor2:
+					return rewritten{}, foldConst1
+				}
+			}
+			return rewritten{kind: k, inputs: ins}, foldKeep
+		}
+		c := bit(ci)
+		x := ins[xi]
+		ins[0] = x
+		switch {
+		case k == cells.And2 && c, k == cells.Or2 && !c, k == cells.Xor2 && !c:
+			return rewritten{}, foldAlias
+		case k == cells.And2 && !c:
+			return rewritten{}, foldConst0
+		case k == cells.Or2 && c:
+			return rewritten{}, foldConst1
+		case k == cells.Nand2 && !c:
+			return rewritten{}, foldConst1
+		case k == cells.Nor2 && c:
+			return rewritten{}, foldConst0
+		case k == cells.Nand2 && c, k == cells.Nor2 && !c, k == cells.Xor2 && c, k == cells.Xnor2 && !c:
+			return rewritten{kind: cells.Inv, inputs: ins[:1]}, foldKeep
+		case k == cells.Xnor2 && c:
+			return rewritten{}, foldAlias
+		}
+	case cells.Mux2:
+		if isC(2) {
+			// Constant select: the gate is the selected data leg.
+			sel := 0
+			if bit(2) {
+				sel = 1
+			}
+			if isC(sel) {
+				if bit(sel) {
+					return rewritten{}, foldConst1
+				}
+				return rewritten{}, foldConst0
+			}
+			ins[0] = ins[sel]
+			return rewritten{}, foldAlias
+		}
+		if ins[0] == ins[1] && !isC(0) {
+			return rewritten{}, foldAlias
+		}
+		// Constant data legs: MUX(0, 1, s) = s; MUX(1, 0, s) = !s.
+		if isC(0) && isC(1) {
+			ins[0] = ins[2]
+			if !bit(0) && bit(1) {
+				return rewritten{}, foldAlias
+			}
+			if bit(0) && !bit(1) {
+				return rewritten{kind: cells.Inv, inputs: ins[:1]}, foldKeep
+			}
+		}
+		return rewritten{kind: k, inputs: ins}, foldKeep
+	case cells.And3, cells.Or3, cells.Nand3, cells.Nor3:
+		// Reduce around constant operands to the 2-input form.
+		var unknown []NetID
+		anyZero, anyOne := false, false
+		for j := 0; j < 3; j++ {
+			switch vals[j] {
+			case vConst0:
+				anyZero = true
+			case vConst1:
+				anyOne = true
+			default:
+				unknown = append(unknown, ins[j])
+			}
+		}
+		switch k {
+		case cells.And3:
+			if anyZero {
+				return rewritten{}, foldConst0
+			}
+			if len(unknown) == 2 {
+				return rewritten{kind: cells.And2, inputs: unknown}, foldKeep
+			}
+			if len(unknown) == 1 {
+				ins[0] = unknown[0]
+				return rewritten{}, foldAlias
+			}
+		case cells.Or3:
+			if anyOne {
+				return rewritten{}, foldConst1
+			}
+			if len(unknown) == 2 {
+				return rewritten{kind: cells.Or2, inputs: unknown}, foldKeep
+			}
+			if len(unknown) == 1 {
+				ins[0] = unknown[0]
+				return rewritten{}, foldAlias
+			}
+		case cells.Nand3:
+			if anyZero {
+				return rewritten{}, foldConst1
+			}
+			if len(unknown) == 2 {
+				return rewritten{kind: cells.Nand2, inputs: unknown}, foldKeep
+			}
+			if len(unknown) == 1 {
+				return rewritten{kind: cells.Inv, inputs: unknown}, foldKeep
+			}
+		case cells.Nor3:
+			if anyOne {
+				return rewritten{}, foldConst0
+			}
+			if len(unknown) == 2 {
+				return rewritten{kind: cells.Nor2, inputs: unknown}, foldKeep
+			}
+			if len(unknown) == 1 {
+				return rewritten{kind: cells.Inv, inputs: unknown}, foldKeep
+			}
+		}
+	}
+	return rewritten{kind: k, inputs: ins}, foldKeep
+}

@@ -1,0 +1,180 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"tevot/internal/cells"
+)
+
+func evalBits(t *testing.T, nl *Netlist, in []bool) []bool {
+	t.Helper()
+	out, err := nl.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSimplifyFoldsConstantChain(t *testing.T) {
+	b := NewBuilder("constchain")
+	x := b.Input("x")
+	// AND(x, 1) -> x; OR(that, 0) -> x; XOR(that, 1) -> NOT x.
+	n := b.And(x, b.Const1())
+	n = b.Or(n, b.Const0())
+	n = b.Xor(n, b.Const1())
+	b.Output(n)
+	nl := b.MustBuild()
+
+	out, stats, err := Simplify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 1 {
+		t.Fatalf("simplified to %d gates, want 1 (a single inverter)", out.NumGates())
+	}
+	if out.Gates[0].Kind != cells.Inv {
+		t.Errorf("remaining gate is %v, want INV", out.Gates[0].Kind)
+	}
+	if stats.Folded != 2 {
+		t.Errorf("folded %d gates, want 2", stats.Folded)
+	}
+	for _, v := range []bool{false, true} {
+		if got := evalBits(t, out, []bool{v})[0]; got != !v {
+			t.Errorf("f(%v) = %v, want %v", v, got, !v)
+		}
+	}
+}
+
+func TestSimplifyRemovesDeadLogic(t *testing.T) {
+	b := NewBuilder("dead")
+	x := b.Input("x")
+	y := b.Input("y")
+	live := b.And(x, y)
+	b.Xor(x, y) // dead: never reaches an output
+	b.Or(live, x)
+	b.Output(live)
+	nl := b.MustBuild()
+	out, stats, err := Simplify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 1 {
+		t.Fatalf("got %d gates, want 1", out.NumGates())
+	}
+	if stats.Dead != 2 {
+		t.Errorf("dead count = %d, want 2", stats.Dead)
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	nl, err := Random(RandomOptions{Inputs: 6, Gates: 60, Outputs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, _, err := Simplify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, stats, err := Simplify(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twice.NumGates() != once.NumGates() {
+		t.Errorf("second pass changed gate count %d -> %d (folded %d, dead %d)",
+			once.NumGates(), twice.NumGates(), stats.Folded, stats.Dead)
+	}
+}
+
+// TestSimplifyPreservesFunction fuzzes: for random circuits with
+// injected constants and buffers, the simplified netlist computes the
+// same outputs on random vectors and never has more gates.
+func TestSimplifyPreservesFunction(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		base, err := Random(RandomOptions{Inputs: 5, Gates: 40, Outputs: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wrap with constant-heavy logic to give the folder real work:
+		// out'_i = MUX(out_i, 0, const0) = out_i, plus a buffer.
+		b := NewBuilder("wrapped")
+		ins := make([]NetID, len(base.PrimaryInputs))
+		for i, pi := range base.PrimaryInputs {
+			ins[i] = b.Input(base.Nets[pi].Name)
+		}
+		// Re-emit the base circuit gate by gate.
+		remap := map[NetID]NetID{}
+		for i, pi := range base.PrimaryInputs {
+			remap[pi] = ins[i]
+		}
+		if base.Const0 >= 0 {
+			remap[base.Const0] = b.Const0()
+		}
+		if base.Const1 >= 0 {
+			remap[base.Const1] = b.Const1()
+		}
+		order, err := base.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, gi := range order {
+			g := &base.Gates[gi]
+			mapped := make([]NetID, len(g.Inputs))
+			for j, in := range g.Inputs {
+				mapped[j] = remap[in]
+			}
+			remap[g.Output] = b.Gate(g.Kind, mapped...)
+		}
+		for _, po := range base.PrimaryOutputs {
+			wrapped := b.Mux(remap[po], b.Const0(), b.Const0())
+			wrapped = b.Buf(wrapped)
+			b.Output(wrapped)
+		}
+		nl := b.MustBuild()
+
+		simplified, stats, err := Simplify(nl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if simplified.NumGates() > nl.NumGates() {
+			t.Fatalf("seed %d: simplify grew the netlist %d -> %d",
+				seed, nl.NumGates(), simplified.NumGates())
+		}
+		if stats.Folded == 0 {
+			t.Errorf("seed %d: wrapper constants were not folded", seed)
+		}
+		rng := rand.New(rand.NewSource(seed + 500))
+		for trial := 0; trial < 40; trial++ {
+			in := make([]bool, 5)
+			for j := range in {
+				in[j] = rng.Intn(2) == 1
+			}
+			want := evalBits(t, nl, in)
+			got := evalBits(t, simplified, in)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d trial %d: output %d differs after simplify", seed, trial, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyConstantOutput(t *testing.T) {
+	b := NewBuilder("allconst")
+	x := b.Input("x")
+	_ = x
+	o := b.And(b.Const1(), b.Const0())
+	b.Output(o)
+	nl := b.MustBuild()
+	out, _, err := Simplify(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumGates() != 0 {
+		t.Fatalf("constant circuit kept %d gates", out.NumGates())
+	}
+	if got := evalBits(t, out, []bool{true})[0]; got != false {
+		t.Errorf("constant output = %v, want false", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package place provides the place-and-route stage of the flow: a
+// deterministic levelized grid placement of the netlist and a
+// wire-delay model based on Manhattan routing distance. The paper's
+// timing comes from post-layout designs ("considers physical details of
+// post-layout designs in TSMC 45nm"); with this package the STA and
+// simulation delays include per-sink interconnect delay instead of a
+// pure fanout-count load model.
+//
+// The placer is intentionally simple and reproducible: gates are placed
+// column-by-column in topological-level order, ordered within a column
+// by the barycenter of their already-placed fanins — a single pass of
+// the classic force-directed heuristic. It is not a competitive placer;
+// it is a physical-detail generator whose wirelengths correlate with
+// logical structure the way a real layout's do.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tevot/internal/netlist"
+)
+
+// Point is a placed location in cell-pitch units.
+type Point struct {
+	X, Y float64
+}
+
+// Placement maps every gate (and primary input) of a netlist to a
+// location.
+type Placement struct {
+	// Gate holds one location per gate, indexed by GateID.
+	Gate []Point
+	// Input holds one location per primary input, in PrimaryInputs
+	// order.
+	Input []Point
+	// Width and Height are the bounding box in cell pitches.
+	Width, Height float64
+}
+
+// Place computes the levelized barycenter placement.
+func Place(nl *netlist.Netlist) (*Placement, error) {
+	levels, err := nl.Levels()
+	if err != nil {
+		return nil, err
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Placement{
+		Gate:  make([]Point, nl.NumGates()),
+		Input: make([]Point, len(nl.PrimaryInputs)),
+	}
+	// Primary inputs occupy column 0, evenly spaced.
+	inputY := make(map[netlist.NetID]float64, len(nl.PrimaryInputs))
+	for i, pi := range nl.PrimaryInputs {
+		y := float64(i)
+		p.Input[i] = Point{X: 0, Y: y}
+		inputY[pi] = y
+	}
+
+	// Group gates by level.
+	byLevel := map[int32][]netlist.GateID{}
+	maxLevel := int32(0)
+	for _, gi := range order {
+		lv := levels[gi]
+		byLevel[lv] = append(byLevel[lv], gi)
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+
+	// netY returns the y of a net's driver (or input pin) once placed.
+	netY := func(id netlist.NetID) (float64, bool) {
+		if y, ok := inputY[id]; ok {
+			return y, true
+		}
+		drv := nl.Nets[id].Driver
+		if drv == netlist.None {
+			return 0, false // constant nets exert no pull
+		}
+		return p.Gate[drv].Y, true
+	}
+
+	maxRow := float64(len(nl.PrimaryInputs))
+	for lv := int32(1); lv <= maxLevel; lv++ {
+		gates := byLevel[lv]
+		type scored struct {
+			g netlist.GateID
+			y float64
+		}
+		row := make([]scored, 0, len(gates))
+		for _, gi := range gates {
+			sum, n := 0.0, 0
+			for _, in := range nl.Gates[gi].Inputs {
+				if y, ok := netY(in); ok {
+					sum += y
+					n++
+				}
+			}
+			y := 0.0
+			if n > 0 {
+				y = sum / float64(n)
+			}
+			row = append(row, scored{gi, y})
+		}
+		// Sort by barycenter, then legalize to distinct rows preserving
+		// the order (ties broken by gate id for determinism).
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].y != row[j].y {
+				return row[i].y < row[j].y
+			}
+			return row[i].g < row[j].g
+		})
+		for i, s := range row {
+			p.Gate[s.g] = Point{X: float64(lv), Y: float64(i) * spread(len(row), maxRow)}
+		}
+		if r := float64(len(row)); r > maxRow {
+			maxRow = r
+		}
+	}
+	p.Width = float64(maxLevel)
+	p.Height = maxRow
+	return p, nil
+}
+
+// spread scales row indices so every column spans a similar height —
+// columns with few cells sit at the same pitch density as wide ones.
+func spread(n int, maxRow float64) float64 {
+	if n <= 1 {
+		return 1
+	}
+	s := maxRow / float64(n)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// WireModel converts routed distance to delay.
+type WireModel struct {
+	// PsPerPitch is the wire delay per Manhattan cell pitch, ps.
+	PsPerPitch float64
+}
+
+// DefaultWire returns a 45 nm-flavored interconnect coefficient: short
+// local wires cost a fraction of a gate delay, cross-block routes cost
+// several.
+func DefaultWire() WireModel { return WireModel{PsPerPitch: 0.9} }
+
+// Validate rejects non-physical coefficients.
+func (w WireModel) Validate() error {
+	if w.PsPerPitch < 0 {
+		return fmt.Errorf("place: negative wire delay %v", w.PsPerPitch)
+	}
+	return nil
+}
+
+// GateWireDelay returns the mean interconnect delay (ps, at the nominal
+// corner) from a gate's output to its sinks: PsPerPitch times the mean
+// Manhattan distance. Gates whose output has no sinks get the distance
+// to one pitch (the local output wire).
+func (pl *Placement) GateWireDelay(nl *netlist.Netlist, w WireModel, gi netlist.GateID) float64 {
+	src := pl.Gate[gi]
+	out := nl.Gates[gi].Output
+	sinks := nl.Nets[out].Fanout
+	if len(sinks) == 0 {
+		return w.PsPerPitch
+	}
+	total := 0.0
+	for _, s := range sinks {
+		dst := pl.Gate[s]
+		total += math.Abs(dst.X-src.X) + math.Abs(dst.Y-src.Y)
+	}
+	return w.PsPerPitch * total / float64(len(sinks))
+}
+
+// TotalWirelength sums the Manhattan source-to-sink distances of every
+// net — the placer's quality metric.
+func (pl *Placement) TotalWirelength(nl *netlist.Netlist) float64 {
+	total := 0.0
+	locOf := func(id netlist.NetID) (Point, bool) {
+		if drv := nl.Nets[id].Driver; drv != netlist.None {
+			return pl.Gate[drv], true
+		}
+		for i, pi := range nl.PrimaryInputs {
+			if pi == id {
+				return pl.Input[i], true
+			}
+		}
+		return Point{}, false
+	}
+	for ni := range nl.Nets {
+		src, ok := locOf(netlist.NetID(ni))
+		if !ok {
+			continue
+		}
+		for _, s := range nl.Nets[ni].Fanout {
+			dst := pl.Gate[s]
+			total += math.Abs(dst.X-src.X) + math.Abs(dst.Y-src.Y)
+		}
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+package place
+
+import (
+	"testing"
+
+	"tevot/internal/circuits"
+	"tevot/internal/netlist"
+)
+
+func TestPlaceBasicInvariants(t *testing.T) {
+	nl := circuits.NewRippleAdder(8)
+	pl, err := Place(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Gate) != nl.NumGates() || len(pl.Input) != len(nl.PrimaryInputs) {
+		t.Fatalf("placement sizes %d/%d", len(pl.Gate), len(pl.Input))
+	}
+	levels, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range nl.Gates {
+		p := pl.Gate[gi]
+		if p.X != float64(levels[gi]) {
+			t.Fatalf("gate %d placed at column %v, level is %d", gi, p.X, levels[gi])
+		}
+		if p.Y < 0 || p.Y > pl.Height+1e-9 {
+			t.Fatalf("gate %d y=%v outside [0,%v]", gi, p.Y, pl.Height)
+		}
+	}
+	if pl.Width <= 0 || pl.Height <= 0 {
+		t.Fatalf("degenerate bounding box %vx%v", pl.Width, pl.Height)
+	}
+}
+
+func TestPlaceNoOverlapWithinColumn(t *testing.T) {
+	nl := circuits.NewTruncMultiplier(8)
+	pl, err := Place(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Point]bool{}
+	for gi := range nl.Gates {
+		p := pl.Gate[gi]
+		if seen[p] {
+			t.Fatalf("two gates share location %+v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	nl := circuits.NewRippleAdder(16)
+	a, err := Place(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range a.Gate {
+		if a.Gate[gi] != b.Gate[gi] {
+			t.Fatal("placement is not deterministic")
+		}
+	}
+}
+
+func TestWireDelaysPositive(t *testing.T) {
+	nl := circuits.NewRippleAdder(8)
+	pl, err := Place(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := DefaultWire()
+	total := 0.0
+	for gi := range nl.Gates {
+		d := pl.GateWireDelay(nl, w, netlist.GateID(gi))
+		if d < 0 {
+			t.Fatalf("negative wire delay %v", d)
+		}
+		total += d
+	}
+	if total <= 0 {
+		t.Fatal("all wire delays are zero; placement produced no distances")
+	}
+}
+
+func TestTotalWirelengthBarycenterBeatsReverse(t *testing.T) {
+	// The barycenter ordering should produce less wire than a degenerate
+	// placement that reverses each column. Build the reverse by flipping
+	// Y within the bounding box.
+	nl := circuits.NewRippleAdder(16)
+	pl, err := Place(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pl.TotalWirelength(nl)
+	flipped := &Placement{
+		Gate:   make([]Point, len(pl.Gate)),
+		Input:  pl.Input,
+		Width:  pl.Width,
+		Height: pl.Height,
+	}
+	for i, p := range pl.Gate {
+		flipped.Gate[i] = Point{X: p.X, Y: pl.Height - p.Y}
+	}
+	if rev := flipped.TotalWirelength(nl); base >= rev {
+		t.Errorf("barycenter wirelength (%v) should beat flipped (%v)", base, rev)
+	}
+}
+
+func TestWireModelValidate(t *testing.T) {
+	if err := (WireModel{PsPerPitch: -1}).Validate(); err == nil {
+		t.Error("accepted negative wire coefficient")
+	}
+	if err := DefaultWire().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		nl, err := netlist.Random(netlist.RandomOptions{Inputs: 6, Gates: 50, Outputs: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := Place(nl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if wl := pl.TotalWirelength(nl); wl <= 0 {
+			t.Fatalf("seed %d: non-positive wirelength %v", seed, wl)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package power estimates the energy of gate-level activity so the
+// quality-energy tradeoff the paper's introduction motivates (voltage
+// scaling with tolerated timing errors) can be explored quantitatively.
+// Dynamic energy follows the standard CV² model with the simulator's
+// event counts as the switching activity; leakage follows an
+// exponential-in-temperature, linear-in-V model integrated over the
+// cycle window.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"tevot/internal/cells"
+)
+
+// Model holds the technology coefficients.
+type Model struct {
+	// SwitchFJ is the average switched energy per net toggle at the
+	// nominal supply, femtojoules.
+	SwitchFJ float64
+	// LeakNW is the leakage power at the nominal corner, nanowatts.
+	LeakNW float64
+	// LeakTemp is the exponential leakage temperature coefficient per
+	// degree Celsius.
+	LeakTemp float64
+	// Vnom is the supply the coefficients were characterized at.
+	Vnom float64
+	// Tnom is the temperature the leakage was characterized at.
+	Tnom float64
+}
+
+// Default returns coefficients loosely calibrated to a 45 nm arithmetic
+// block: ~1.2 fJ per average net toggle at 1.0 V, 50 nW leakage at 25 °C
+// doubling roughly every 20 °C.
+func Default() Model {
+	return Model{SwitchFJ: 1.2, LeakNW: 50, LeakTemp: math.Ln2 / 20, Vnom: 1.0, Tnom: 25}
+}
+
+// Validate rejects non-physical coefficients.
+func (m Model) Validate() error {
+	if m.SwitchFJ <= 0 || m.LeakNW < 0 || m.Vnom <= 0 {
+		return fmt.Errorf("power: invalid model %+v", m)
+	}
+	return nil
+}
+
+// DynamicFJ returns the switching energy of a cycle with the given
+// event (toggle) count at a corner, femtojoules: E = n·Esw·(V/Vnom)².
+func (m Model) DynamicFJ(events int, corner cells.Corner) float64 {
+	r := corner.V / m.Vnom
+	return float64(events) * m.SwitchFJ * r * r
+}
+
+// LeakageFJ returns the leakage energy over a window (ps) at a corner,
+// femtojoules. Leakage scales linearly with V and exponentially with
+// temperature.
+func (m Model) LeakageFJ(windowPS float64, corner cells.Corner) float64 {
+	pNW := m.LeakNW * (corner.V / m.Vnom) * math.Exp(m.LeakTemp*(corner.T-m.Tnom))
+	// nW × ps = 1e-9 W × 1e-12 s = 1e-21 J = 1e-6 fJ.
+	return pNW * windowPS * 1e-6
+}
+
+// CycleFJ returns the total energy of one cycle: switching plus leakage
+// over the clock period.
+func (m Model) CycleFJ(events int, clockPS float64, corner cells.Corner) float64 {
+	return m.DynamicFJ(events, corner) + m.LeakageFJ(clockPS, corner)
+}
+
+// PerOpFJ averages the total energy per operation over a
+// characterization: total events across cycles, each cycle charged one
+// clock period of leakage.
+func (m Model) PerOpFJ(totalEvents, cycles int, clockPS float64, corner cells.Corner) (float64, error) {
+	if cycles <= 0 {
+		return 0, fmt.Errorf("power: non-positive cycle count %d", cycles)
+	}
+	dyn := m.DynamicFJ(totalEvents, corner) / float64(cycles)
+	return dyn + m.LeakageFJ(clockPS, corner), nil
+}

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"tevot/internal/cells"
+)
+
+func TestDynamicScalesQuadraticallyWithV(t *testing.T) {
+	m := Default()
+	e10 := m.DynamicFJ(1000, cells.Corner{V: 1.0, T: 25})
+	e08 := m.DynamicFJ(1000, cells.Corner{V: 0.8, T: 25})
+	if math.Abs(e08/e10-0.64) > 1e-9 {
+		t.Errorf("0.8V/1.0V dynamic ratio = %v, want 0.64", e08/e10)
+	}
+	if e0 := m.DynamicFJ(0, cells.Corner{V: 1, T: 25}); e0 != 0 {
+		t.Errorf("zero events should cost zero dynamic energy, got %v", e0)
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	m := Default()
+	cold := m.LeakageFJ(1000, cells.Corner{V: 1, T: 25})
+	hot := m.LeakageFJ(1000, cells.Corner{V: 1, T: 45})
+	if math.Abs(hot/cold-2) > 0.01 {
+		t.Errorf("leakage should double per 20°C: ratio %v", hot/cold)
+	}
+}
+
+func TestLeakageUnits(t *testing.T) {
+	m := Model{SwitchFJ: 1, LeakNW: 1000, LeakTemp: 0, Vnom: 1, Tnom: 25}
+	// 1000 nW = 1 µW over 1 ns (1000 ps) = 1 fJ.
+	got := m.LeakageFJ(1000, cells.Corner{V: 1, T: 25})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("1µW over 1ns = %v fJ, want 1", got)
+	}
+}
+
+func TestCycleFJComposition(t *testing.T) {
+	m := Default()
+	c := cells.Corner{V: 0.9, T: 50}
+	total := m.CycleFJ(500, 800, c)
+	if want := m.DynamicFJ(500, c) + m.LeakageFJ(800, c); total != want {
+		t.Errorf("CycleFJ = %v, want %v", total, want)
+	}
+}
+
+func TestPerOpFJ(t *testing.T) {
+	m := Default()
+	c := cells.Corner{V: 1, T: 25}
+	perOp, err := m.PerOpFJ(10000, 100, 500, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.DynamicFJ(100, c) + m.LeakageFJ(500, c); math.Abs(perOp-want) > 1e-12 {
+		t.Errorf("PerOpFJ = %v, want %v", perOp, want)
+	}
+	if _, err := m.PerOpFJ(1, 0, 500, c); err == nil {
+		t.Error("accepted zero cycles")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Model{SwitchFJ: -1, Vnom: 1}).Validate(); err == nil {
+		t.Error("accepted negative switch energy")
+	}
+}
+
+// TestVoltageScalingSavesEnergy: the whole point of the tradeoff — at a
+// fixed clock, dropping the supply reduces per-op energy.
+func TestVoltageScalingSavesEnergy(t *testing.T) {
+	m := Default()
+	hi, err := m.PerOpFJ(100000, 1000, 700, cells.Corner{V: 1.0, T: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := m.PerOpFJ(100000, 1000, 700, cells.Corner{V: 0.81, T: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Errorf("0.81V per-op energy (%v) should be below 1.0V (%v)", lo, hi)
+	}
+}

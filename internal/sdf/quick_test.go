@@ -1,0 +1,53 @@
+package sdf
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+)
+
+// TestQuickRoundTripArbitraryDelays: any positive delay assignment
+// survives write+parse within the 3-decimal text precision.
+func TestQuickRoundTripArbitraryDelays(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	corner := cells.Corner{V: 0.9, T: 25}
+	f := func(seeds []uint32) bool {
+		delays := make([]float64, nl.NumGates())
+		for i := range delays {
+			v := 1.0
+			if len(seeds) > 0 {
+				v = 0.001 + float64(seeds[i%len(seeds)]%1000000)/100.0
+			}
+			delays[i] = v
+		}
+		doc, err := FromAnnotation(nl, corner, delays)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := doc.Write(&buf, nl); err != nil {
+			return false
+		}
+		parsed, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		back, err := parsed.Apply(nl)
+		if err != nil {
+			return false
+		}
+		for i := range delays {
+			if math.Abs(back[i]-delays[i]) > 0.0006 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package sdf reads and writes the subset of the Standard Delay Format
+// (SDF 3.0) that the flow needs: one CELL entry per gate instance with an
+// ABSOLUTE IOPATH delay. In the paper's flow, PrimeTime emits one SDF
+// file per (V, T) corner and the gate-level simulator back-annotates it;
+// here the sta package plays PrimeTime and internal/sim plays the
+// simulator, with this package as the interchange format between them —
+// so that the artifact chain (netlist → per-corner SDF → annotated
+// simulation) matches the paper's, and so pre-computed corners can be
+// cached on disk.
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+)
+
+// File is an in-memory SDF document.
+type File struct {
+	Design      string
+	Voltage     float64
+	Temperature float64
+	Timescale   string // always "1ps" when written by this package
+	// Delays maps gate instance name to IOPATH delay in picoseconds.
+	Delays map[string]float64
+}
+
+// FromAnnotation builds an SDF document from a netlist and its per-gate
+// delay annotation at a corner.
+func FromAnnotation(nl *netlist.Netlist, corner cells.Corner, delays []float64) (*File, error) {
+	if len(delays) != len(nl.Gates) {
+		return nil, fmt.Errorf("sdf: %d delays for %d gates", len(delays), len(nl.Gates))
+	}
+	f := &File{
+		Design:      nl.Name,
+		Voltage:     corner.V,
+		Temperature: corner.T,
+		Timescale:   "1ps",
+		Delays:      make(map[string]float64, len(nl.Gates)),
+	}
+	for gi := range nl.Gates {
+		name := nl.Gates[gi].Name
+		if _, dup := f.Delays[name]; dup {
+			return nil, fmt.Errorf("sdf: duplicate instance name %q", name)
+		}
+		f.Delays[name] = delays[gi]
+	}
+	return f, nil
+}
+
+// Apply maps the file's per-instance delays back onto a netlist,
+// returning a per-gate delay slice in gate order. Every gate must have an
+// entry.
+func (f *File) Apply(nl *netlist.Netlist) ([]float64, error) {
+	delays := make([]float64, len(nl.Gates))
+	for gi := range nl.Gates {
+		d, ok := f.Delays[nl.Gates[gi].Name]
+		if !ok {
+			return nil, fmt.Errorf("sdf: no delay for instance %q in design %q",
+				nl.Gates[gi].Name, f.Design)
+		}
+		delays[gi] = d
+	}
+	return delays, nil
+}
+
+// Write emits the document as SDF 3.0 text.
+func (f *File) Write(w io.Writer, nl *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE\n")
+	fmt.Fprintf(bw, "  (SDFVERSION \"3.0\")\n")
+	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", f.Design)
+	fmt.Fprintf(bw, "  (VOLTAGE %.3f)\n", f.Voltage)
+	fmt.Fprintf(bw, "  (TEMPERATURE %.1f)\n", f.Temperature)
+	fmt.Fprintf(bw, "  (TIMESCALE 1ps)\n")
+	// Emit in netlist gate order for deterministic output.
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		d, ok := f.Delays[g.Name]
+		if !ok {
+			return fmt.Errorf("sdf: no delay for instance %q while writing", g.Name)
+		}
+		fmt.Fprintf(bw, "  (CELL (CELLTYPE \"%s\") (INSTANCE %s)\n", g.Kind, g.Name)
+		fmt.Fprintf(bw, "    (DELAY (ABSOLUTE (IOPATH A Y (%.3f:%.3f:%.3f)))))\n", d, d, d)
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+// Parse reads SDF 3.0 text produced by Write (or a compatible subset:
+// DELAYFILE header fields plus CELL/INSTANCE/IOPATH triplets; min:typ:max
+// triples collapse to typ).
+func Parse(r io.Reader) (*File, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Delays: make(map[string]float64)}
+	p := &parser{toks: toks}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if kw := p.next(); kw != "DELAYFILE" {
+		return nil, fmt.Errorf("sdf: expected DELAYFILE, got %q", kw)
+	}
+	for {
+		t := p.next()
+		switch t {
+		case "":
+			return nil, fmt.Errorf("sdf: unexpected end of input")
+		case ")":
+			return f, nil
+		case "(":
+			if err := p.section(f); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sdf: unexpected token %q", t)
+		}
+	}
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) next() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.next(); got != want {
+		return fmt.Errorf("sdf: expected %q, got %q", want, got)
+	}
+	return nil
+}
+
+// skipBalanced consumes tokens until the current open paren is closed.
+func (p *parser) skipBalanced() error {
+	depth := 1
+	for depth > 0 {
+		switch p.next() {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		case "":
+			return fmt.Errorf("sdf: unbalanced parentheses")
+		}
+	}
+	return nil
+}
+
+// section parses one top-level form after its opening paren.
+func (p *parser) section(f *File) error {
+	kw := p.next()
+	switch kw {
+	case "SDFVERSION", "TIMESCALE", "DIVIDER", "PROCESS":
+		return p.skipBalanced()
+	case "DESIGN":
+		f.Design = strings.Trim(p.next(), `"`)
+		return p.expect(")")
+	case "VOLTAGE":
+		v, err := strconv.ParseFloat(p.next(), 64)
+		if err != nil {
+			return fmt.Errorf("sdf: bad VOLTAGE: %w", err)
+		}
+		f.Voltage = v
+		return p.expect(")")
+	case "TEMPERATURE":
+		v, err := strconv.ParseFloat(p.next(), 64)
+		if err != nil {
+			return fmt.Errorf("sdf: bad TEMPERATURE: %w", err)
+		}
+		f.Temperature = v
+		return p.expect(")")
+	case "CELL":
+		return p.cell(f)
+	default:
+		return p.skipBalanced()
+	}
+}
+
+// cell parses one (CELL ...) form after the CELL keyword.
+func (p *parser) cell(f *File) error {
+	instance := ""
+	var delay float64
+	haveDelay := false
+	for {
+		switch t := p.next(); t {
+		case ")":
+			if instance == "" {
+				return fmt.Errorf("sdf: CELL without INSTANCE")
+			}
+			if !haveDelay {
+				return fmt.Errorf("sdf: CELL %q without IOPATH delay", instance)
+			}
+			f.Delays[instance] = delay
+			return nil
+		case "(":
+			kw := p.next()
+			switch kw {
+			case "CELLTYPE":
+				if err := p.skipBalanced(); err != nil {
+					return err
+				}
+			case "INSTANCE":
+				instance = p.next()
+				if err := p.expect(")"); err != nil {
+					return err
+				}
+			case "DELAY":
+				d, ok, err := p.delaySection()
+				if err != nil {
+					return err
+				}
+				if ok {
+					delay, haveDelay = d, true
+				}
+			default:
+				if err := p.skipBalanced(); err != nil {
+					return err
+				}
+			}
+		case "":
+			return fmt.Errorf("sdf: unexpected end of input in CELL")
+		default:
+			return fmt.Errorf("sdf: unexpected token %q in CELL", t)
+		}
+	}
+}
+
+// delaySection parses (ABSOLUTE (IOPATH A Y (min:typ:max)...)) after the
+// DELAY keyword and returns the typ value of the first IOPATH triple.
+func (p *parser) delaySection() (float64, bool, error) {
+	var delay float64
+	have := false
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		case "":
+			return 0, false, fmt.Errorf("sdf: unexpected end of input in DELAY")
+		default:
+			if !have && strings.Contains(t, ":") {
+				parts := strings.Split(t, ":")
+				if len(parts) != 3 {
+					return 0, false, fmt.Errorf("sdf: malformed delay triple %q", t)
+				}
+				v, err := strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					return 0, false, fmt.Errorf("sdf: malformed delay triple %q: %w", t, err)
+				}
+				delay, have = v, true
+			}
+		}
+	}
+	return delay, have, nil
+}
+
+// tokenize splits SDF text into parens and atoms. Quoted strings stay a
+// single token (with quotes).
+func tokenize(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	inString := false
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case inString:
+			cur.WriteRune(c)
+			if c == '"' {
+				inString = false
+				flush()
+			}
+		case c == '"':
+			flush()
+			cur.WriteRune(c)
+			inString = true
+		case c == '(' || c == ')':
+			flush()
+			toks = append(toks, string(c))
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package sdf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/sta"
+)
+
+func TestRoundTrip(t *testing.T) {
+	nl := circuits.NewRippleAdder(8)
+	corner := cells.Corner{V: 0.87, T: 75}
+	delays, err := sta.GateDelays(nl, corner, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromAnnotation(nl, corner, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Design != nl.Name {
+		t.Errorf("design = %q, want %q", parsed.Design, nl.Name)
+	}
+	if parsed.Voltage != 0.87 || parsed.Temperature != 75 {
+		t.Errorf("corner = (%v, %v), want (0.87, 75)", parsed.Voltage, parsed.Temperature)
+	}
+	back, err := parsed.Apply(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range delays {
+		if math.Abs(back[i]-delays[i]) > 0.001 { // written with 3 decimals
+			t.Fatalf("gate %d: %v != %v after round trip", i, back[i], delays[i])
+		}
+	}
+}
+
+func TestApplyMissingInstance(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	f := &File{Design: nl.Name, Delays: map[string]float64{"nonexistent": 1}}
+	if _, err := f.Apply(nl); err == nil {
+		t.Fatal("Apply succeeded with missing instances")
+	}
+}
+
+func TestFromAnnotationLengthMismatch(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	if _, err := FromAnnotation(nl, cells.Corner{V: 1, T: 25}, []float64{1}); err == nil {
+		t.Fatal("FromAnnotation accepted short delays")
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no delayfile":     "(FOO)",
+		"unbalanced":       "(DELAYFILE (DESIGN \"x\")",
+		"cell no instance": `(DELAYFILE (CELL (CELLTYPE "AND2") (DELAY (ABSOLUTE (IOPATH A Y (1:1:1))))))`,
+		"cell no delay":    `(DELAYFILE (CELL (CELLTYPE "AND2") (INSTANCE u1)))`,
+		"bad triple":       `(DELAYFILE (CELL (INSTANCE u1) (DELAY (ABSOLUTE (IOPATH A Y (1:x:1))))))`,
+		"bad voltage":      `(DELAYFILE (VOLTAGE abc))`,
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+}
+
+func TestParseIgnoresUnknownSections(t *testing.T) {
+	text := `(DELAYFILE
+	  (SDFVERSION "3.0")
+	  (DESIGN "d")
+	  (VENDOR "acme")
+	  (PROCESS "typical")
+	  (CELL (CELLTYPE "INV") (INSTANCE u0)
+	    (DELAY (ABSOLUTE (IOPATH A Y (10.5:11.5:12.5))))))`
+	f, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Delays["u0"] != 11.5 {
+		t.Errorf("u0 delay = %v, want typ 11.5", f.Delays["u0"])
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	delays, err := sta.GateDelays(nl, cells.Corner{V: 0.9, T: 0}, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromAnnotation(nl, cells.Corner{V: 0.9, T: 0}, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := f.Write(&b1, nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(&b2, nl); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("Write output is not deterministic")
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/sta"
+)
+
+// BenchmarkCycle measures per-cycle event-driven simulation cost for
+// each functional unit — the denominator of the paper's 100x speedup
+// claim.
+func BenchmarkCycle(b *testing.B) {
+	for _, fu := range circuits.AllFUs {
+		b.Run(fu.String(), func(b *testing.B) {
+			nl, err := fu.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			delays, err := sta.GateDelays(nl, cells.Corner{V: 0.85, T: 50}, sta.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := NewRunner(nl, delays)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			vecs := make([][]bool, 64)
+			for i := range vecs {
+				vecs[i] = circuits.EncodeOperands(rng.Uint32(), rng.Uint32())
+			}
+			if _, err := r.Cycle(vecs[0], vecs[1]); err != nil {
+				b.Fatal(err)
+			}
+			events := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := r.Cycle(nil, vecs[i%len(vecs)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/cycle")
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+	"tevot/internal/sta"
+)
+
+// TestFuzzSimulatorAgainstEval cross-checks the event-driven simulator
+// against zero-delay functional evaluation and the STA bound on a fleet
+// of random circuits: for every random DAG and every input transition,
+//
+//   - the settled outputs must equal Netlist.Eval of the new vector,
+//   - the dynamic delay must not exceed the STA critical-path delay,
+//   - output toggles must alternate and replay to the settled value,
+//   - a clock above the dynamic delay must show no timing error.
+func TestFuzzSimulatorAgainstEval(t *testing.T) {
+	corners := []cells.Corner{{V: 0.81, T: 0}, {V: 0.90, T: 50}, {V: 1.00, T: 100}}
+	for seed := int64(0); seed < 25; seed++ {
+		nl, err := netlist.Random(netlist.RandomOptions{
+			Inputs:  4 + int(seed%5),
+			Gates:   20 + int(seed*7%60),
+			Outputs: 1 + int(seed%4),
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corner := corners[seed%int64(len(corners))]
+		static, err := sta.Analyze(nl, corner, sta.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(nl, static.GateDelay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 1000))
+		ni := len(nl.PrimaryInputs)
+		randVec := func() []bool {
+			v := make([]bool, ni)
+			for i := range v {
+				v[i] = rng.Intn(2) == 1
+			}
+			return v
+		}
+		prev := randVec()
+		for cycle := 0; cycle < 30; cycle++ {
+			cur := randVec()
+			res, err := r.Cycle(prev, cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := nl.Eval(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if res.Settled[i] != want[i] {
+					t.Fatalf("seed %d cycle %d: settled[%d] = %v, eval = %v",
+						seed, cycle, i, res.Settled[i], want[i])
+				}
+			}
+			if res.Delay > static.Delay+1e-9 {
+				t.Fatalf("seed %d cycle %d: dynamic %v > static %v", seed, cycle, res.Delay, static.Delay)
+			}
+			init := r.InitialOutputs()
+			for oi, ts := range res.Toggles {
+				last := init[oi]
+				lastT := -1.0
+				for _, tg := range ts {
+					if tg.Val == last || tg.T <= lastT {
+						t.Fatalf("seed %d cycle %d: malformed toggle stream on output %d", seed, cycle, oi)
+					}
+					last, lastT = tg.Val, tg.T
+				}
+				if last != res.Settled[oi] {
+					t.Fatalf("seed %d cycle %d: toggle replay mismatch on output %d", seed, cycle, oi)
+				}
+			}
+			if res.ErrorAt(init, res.Delay+1) {
+				t.Fatalf("seed %d cycle %d: error reported above the dynamic delay", seed, cycle)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestFuzzDeterminism: identical circuits and vectors give bit-identical
+// results across independent runners.
+func TestFuzzDeterminism(t *testing.T) {
+	nl, err := netlist.Random(netlist.RandomOptions{Inputs: 6, Gates: 50, Outputs: 3, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := cells.Corner{V: 0.85, T: 75}
+	delays, err := sta.GateDelays(nl, corner, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	prev := make([]bool, 6)
+	for cycle := 0; cycle < 50; cycle++ {
+		cur := make([]bool, 6)
+		for i := range cur {
+			cur[i] = rng.Intn(2) == 1
+		}
+		a, err := r1.Cycle(prev, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r2.Cycle(prev, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delay != b.Delay || a.Events != b.Events {
+			t.Fatalf("cycle %d: runs diverge: (%v,%d) vs (%v,%d)",
+				cycle, a.Delay, a.Events, b.Delay, b.Events)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,309 @@
+// Package sim is the event-driven gate-level timing simulator: the
+// stand-in for the paper's back-annotated ModelSim runs. Given a netlist
+// and a per-gate delay annotation (from internal/sta or a parsed SDF
+// file) it simulates one clock cycle at a time — the circuit settled at
+// the previous input vector, the new vector applied at t = 0 — and
+// reports the cycle's dynamic delay (time of the last primary-output
+// toggle), the settled output values, and the value that a capture
+// register would sample at any candidate clock period.
+//
+// Gates use the inertial delay model: a scheduled output change is
+// cancelled if the gate re-evaluates to its present value before the
+// change matures, so pulses shorter than a gate delay are swallowed, as
+// in an event-driven HDL simulator's default mode.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"tevot/internal/netlist"
+)
+
+// Toggle is one recorded output transition.
+type Toggle struct {
+	T   float64 // ps after the clock edge
+	Val bool
+}
+
+// CycleResult describes one simulated cycle. The slices are owned by the
+// Runner and are valid only until the next Cycle call; use Clone to keep
+// them.
+type CycleResult struct {
+	// Delay is the dynamic delay: the time of the last toggle on any
+	// primary output, 0 if no output toggled.
+	Delay float64
+	// Settled holds the final primary-output values (equal to the
+	// zero-delay evaluation of the new input vector).
+	Settled []bool
+	// Toggles records each primary output's transitions, in time order.
+	Toggles [][]Toggle
+	// Events counts processed net transitions (simulation effort).
+	Events int
+}
+
+// Sampled returns the values a capture register clocked with period tclk
+// (ps) would latch: for each output, the last toggle strictly before tclk
+// applied on top of the cycle's initial output values (transitions at the
+// sampling instant are missed).
+func (r *CycleResult) Sampled(initial []bool, tclk float64) []bool {
+	dst := append([]bool(nil), initial...)
+	for i, ts := range r.Toggles {
+		for _, tg := range ts {
+			if tg.T < tclk {
+				dst[i] = tg.Val
+			} else {
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// ErrorAt reports whether sampling at clock period tclk (ps) yields any
+// output bit different from the settled value — a timing error in the
+// paper's sense.
+func (r *CycleResult) ErrorAt(initial []bool, tclk float64) bool {
+	for i, ts := range r.Toggles {
+		v := initial[i]
+		for _, tg := range ts {
+			if tg.T < tclk {
+				v = tg.Val
+			} else {
+				break
+			}
+		}
+		if v != r.Settled[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// SampledValue packs the sampled output bits at tclk into a uint32
+// (outputs beyond bit 31 are ignored); initial must hold the outputs'
+// values at the cycle start.
+func (r *CycleResult) SampledValue(initial []bool, tclk float64) uint32 {
+	var v uint32
+	for i, ts := range r.Toggles {
+		bit := initial[i]
+		for _, tg := range ts {
+			if tg.T < tclk {
+				bit = tg.Val
+			} else {
+				break
+			}
+		}
+		if bit && i < 32 {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// Clone deep-copies the result so it survives subsequent Cycle calls.
+func (r *CycleResult) Clone() *CycleResult {
+	c := &CycleResult{Delay: r.Delay, Events: r.Events}
+	c.Settled = append([]bool(nil), r.Settled...)
+	c.Toggles = make([][]Toggle, len(r.Toggles))
+	for i, ts := range r.Toggles {
+		c.Toggles[i] = append([]Toggle(nil), ts...)
+	}
+	return c
+}
+
+// Observer receives every net transition during event processing; used by
+// the VCD writer. The callback must not retain the arguments' referents.
+type Observer func(net netlist.NetID, t float64, val bool)
+
+// Runner simulates cycles over one netlist with one delay annotation.
+// It is not safe for concurrent use; create one Runner per goroutine.
+type Runner struct {
+	nl     *netlist.Netlist
+	delays []float64
+
+	val  []bool   // current value per net
+	proj []bool   // projected value per net after pending events
+	gen  []uint32 // event generation per net, for inertial cancellation
+
+	heap eventHeap
+
+	outIndex []int32 // net -> primary-output index + 1, or 0
+	initOut  []bool  // output values at cycle start (previous settled)
+
+	stamp    []uint32 // per-gate visit stamp for batch deduplication
+	curStamp uint32
+	batch    []netlist.GateID
+
+	res      CycleResult
+	observer Observer
+	settled  bool // val holds a settled state from a previous cycle
+}
+
+// NewRunner creates a Runner. delays must hold one propagation delay (ps)
+// per gate, as produced by sta.GateDelays or sdf.File.Apply.
+func NewRunner(nl *netlist.Netlist, delays []float64) (*Runner, error) {
+	if len(delays) != len(nl.Gates) {
+		return nil, fmt.Errorf("sim: %d delays for %d gates", len(delays), len(nl.Gates))
+	}
+	for gi, d := range delays {
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("sim: gate %q has invalid delay %v", nl.Gates[gi].Name, d)
+		}
+	}
+	if _, err := nl.TopoOrder(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		nl:       nl,
+		delays:   delays,
+		val:      make([]bool, nl.NumNets()),
+		proj:     make([]bool, nl.NumNets()),
+		gen:      make([]uint32, nl.NumNets()),
+		outIndex: make([]int32, nl.NumNets()),
+		initOut:  make([]bool, len(nl.PrimaryOutputs)),
+		stamp:    make([]uint32, nl.NumGates()),
+	}
+	for i, po := range nl.PrimaryOutputs {
+		r.outIndex[po] = int32(i + 1)
+	}
+	r.res.Settled = make([]bool, len(nl.PrimaryOutputs))
+	r.res.Toggles = make([][]Toggle, len(nl.PrimaryOutputs))
+	return r, nil
+}
+
+// SetObserver registers a transition observer (nil to remove).
+func (r *Runner) SetObserver(o Observer) { r.observer = o }
+
+// InitialOutputs returns the output values at the start of the last
+// simulated cycle (the settled outputs of the previous vector). The slice
+// is owned by the Runner.
+func (r *Runner) InitialOutputs() []bool { return r.initOut }
+
+// Netlist returns the simulated netlist.
+func (r *Runner) Netlist() *netlist.Netlist { return r.nl }
+
+// Cycle simulates one clock cycle: the circuit is settled at prev, then
+// cur is applied at t = 0 and events propagate to quiescence. If prev is
+// nil the settled state from the previous Cycle call is reused (the
+// normal streaming mode, which also makes consecutive cycles share state
+// exactly like the real register file would).
+func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
+	nl := r.nl
+	if len(cur) != len(nl.PrimaryInputs) {
+		return nil, fmt.Errorf("sim: got %d current inputs, want %d", len(cur), len(nl.PrimaryInputs))
+	}
+	if prev == nil && !r.settled {
+		return nil, fmt.Errorf("sim: first Cycle call requires an explicit previous vector")
+	}
+	if prev != nil {
+		if len(prev) != len(nl.PrimaryInputs) {
+			return nil, fmt.Errorf("sim: got %d previous inputs, want %d", len(prev), len(nl.PrimaryInputs))
+		}
+		if err := nl.EvalInto(prev, r.val); err != nil {
+			return nil, err
+		}
+	}
+	copy(r.proj, r.val)
+	for i, po := range nl.PrimaryOutputs {
+		r.initOut[i] = r.val[po]
+	}
+	res := &r.res
+	res.Delay = 0
+	res.Events = 0
+	for i := range res.Toggles {
+		res.Toggles[i] = res.Toggles[i][:0]
+	}
+	r.heap = r.heap[:0]
+
+	// Apply the new vector at t = 0 and seed the first gate batch.
+	r.curStamp++
+	r.batch = r.batch[:0]
+	for i, pi := range nl.PrimaryInputs {
+		if r.val[pi] != cur[i] {
+			r.val[pi] = cur[i]
+			r.proj[pi] = cur[i]
+			res.Events++
+			if r.observer != nil {
+				r.observer(pi, 0, cur[i])
+			}
+			if oi := r.outIndex[pi]; oi != 0 {
+				// Degenerate but legal: an input wired straight out.
+				res.Toggles[oi-1] = append(res.Toggles[oi-1], Toggle{0, cur[i]})
+			}
+			for _, g := range nl.Nets[pi].Fanout {
+				r.mark(g)
+			}
+		}
+	}
+	r.evalBatch(0)
+
+	// Event loop: drain strictly increasing time batches.
+	for len(r.heap) > 0 {
+		t := r.heap[0].t
+		r.curStamp++
+		r.batch = r.batch[:0]
+		for len(r.heap) > 0 && r.heap[0].t == t {
+			ev := r.heap.pop()
+			if ev.gen != r.gen[ev.net] {
+				continue // cancelled by a later re-evaluation
+			}
+			if r.val[ev.net] == ev.val {
+				continue
+			}
+			r.val[ev.net] = ev.val
+			res.Events++
+			if r.observer != nil {
+				r.observer(ev.net, t, ev.val)
+			}
+			if oi := r.outIndex[ev.net]; oi != 0 {
+				res.Toggles[oi-1] = append(res.Toggles[oi-1], Toggle{t, ev.val})
+				if t > res.Delay {
+					res.Delay = t
+				}
+			}
+			for _, g := range nl.Nets[ev.net].Fanout {
+				r.mark(g)
+			}
+		}
+		r.evalBatch(t)
+	}
+
+	for i, po := range nl.PrimaryOutputs {
+		res.Settled[i] = r.val[po]
+	}
+	r.settled = true
+	return res, nil
+}
+
+// mark queues a gate for re-evaluation in the current batch, once.
+func (r *Runner) mark(g netlist.GateID) {
+	if r.stamp[g] != r.curStamp {
+		r.stamp[g] = r.curStamp
+		r.batch = append(r.batch, g)
+	}
+}
+
+// evalBatch re-evaluates each gate marked at time t and schedules inertial
+// output transitions.
+func (r *Runner) evalBatch(t float64) {
+	var in [3]bool
+	for _, gi := range r.batch {
+		g := &r.nl.Gates[gi]
+		for j, id := range g.Inputs {
+			in[j] = r.val[id]
+		}
+		v := g.Kind.Eval(in[:len(g.Inputs)])
+		out := g.Output
+		if v == r.proj[out] {
+			continue
+		}
+		// Inertial model: cancel any pending event and either schedule
+		// the new transition or swallow the pulse entirely.
+		r.gen[out]++
+		r.proj[out] = v
+		if v != r.val[out] {
+			r.heap.push(event{t: t + r.delays[gi], net: out, val: v, gen: r.gen[out]})
+		}
+	}
+}

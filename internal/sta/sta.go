@@ -1,0 +1,199 @@
+// Package sta implements static timing analysis over a gate-level
+// netlist: per-gate delay annotation at an operating corner, per-net
+// arrival times, the critical path, and the static circuit delay. It is
+// the stand-in for the PrimeTime step of the paper's flow — the source of
+// per-corner SDF annotations and of the "static delay" that the
+// Delay-based baseline model uses.
+package sta
+
+import (
+	"fmt"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+	"tevot/internal/place"
+)
+
+// Options controls delay annotation.
+type Options struct {
+	// Scaling is the V/T derating model. The zero value is replaced by
+	// cells.DefaultScaling().
+	Scaling cells.ScalingModel
+	// JitterSpread is the per-instance mismatch fraction (e.g. 0.02 for
+	// ±2 %). Zero disables mismatch.
+	JitterSpread float64
+	// Process, when non-nil, applies die-to-die and within-die
+	// threshold-voltage variation (the paper's process-variation
+	// extension).
+	Process *cells.ProcessModel
+	// Aging, when non-nil, applies BTI threshold wearout (the paper's
+	// aging extension).
+	Aging *cells.AgingModel
+	// Placement, when non-nil, adds per-gate interconnect delay from the
+	// placed layout (the flow's post-layout physical detail). Wire
+	// supplies the distance-to-delay coefficient. Interconnect delay is
+	// RC-dominated, so it is not derated with the voltage corner.
+	Placement *place.Placement
+	Wire      place.WireModel
+}
+
+// DefaultOptions returns the options used throughout the reproduction:
+// the default scaling model and ±2 % instance mismatch.
+func DefaultOptions() Options {
+	return Options{Scaling: cells.DefaultScaling(), JitterSpread: 0.02}
+}
+
+func (o Options) scaling() cells.ScalingModel {
+	if o.Scaling == (cells.ScalingModel{}) {
+		return cells.DefaultScaling()
+	}
+	return o.Scaling
+}
+
+// Result holds the outcome of one STA run at one corner.
+type Result struct {
+	Corner cells.Corner
+
+	// GateDelay is the annotated propagation delay of each gate, in ps.
+	GateDelay []float64
+	// Arrival is the latest settling time of each net, in ps; primary
+	// inputs are 0.
+	Arrival []float64
+	// Delay is the static circuit delay: the maximum arrival over the
+	// primary outputs. This is what a clock period must exceed for
+	// guaranteed-correct operation.
+	Delay float64
+	// CriticalOutput is the primary-output net achieving Delay.
+	CriticalOutput netlist.NetID
+	// CriticalPath lists the gates of the longest register-to-register
+	// path, input side first.
+	CriticalPath []netlist.GateID
+}
+
+// GateDelays annotates every gate of nl with its propagation delay at the
+// given corner: (intrinsic + fanout load) derated by the V/T scaling
+// model, with deterministic per-instance mismatch.
+func GateDelays(nl *netlist.Netlist, corner cells.Corner, opts Options) ([]float64, error) {
+	sc := opts.scaling()
+	if err := sc.Validate(corner); err != nil {
+		return nil, err
+	}
+	if opts.Process != nil {
+		if err := opts.Process.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	agingShift := 0.0
+	if opts.Aging != nil {
+		if err := opts.Aging.Validate(); err != nil {
+			return nil, err
+		}
+		agingShift = opts.Aging.VthShift()
+	}
+	delays := make([]float64, len(nl.Gates))
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		tm := cells.NominalTiming(g.Kind)
+		fanout := len(nl.Nets[g.Output].Fanout)
+		if fanout < 1 {
+			fanout = 1 // an unloaded output still drives its own wire
+		}
+		var factor float64
+		if opts.Process == nil && agingShift == 0 {
+			factor = sc.FactorFor(g.Kind, corner)
+		} else {
+			shift := agingShift
+			if opts.Process != nil {
+				shift += opts.Process.VthShift(g.Name)
+			}
+			factor = sc.FactorShifted(g.Kind, corner, shift)
+		}
+		d := (tm.Intrinsic + tm.PerLoad*float64(fanout)) * factor
+		if opts.JitterSpread > 0 {
+			d *= cells.JitterFactor(g.Name, opts.JitterSpread)
+		}
+		if opts.Placement != nil {
+			d += opts.Placement.GateWireDelay(nl, opts.Wire, netlist.GateID(gi))
+		}
+		delays[gi] = d
+	}
+	return delays, nil
+}
+
+// Analyze runs full STA at the corner: annotation, arrival-time
+// propagation in topological order, and critical-path extraction.
+func Analyze(nl *netlist.Netlist, corner cells.Corner, opts Options) (*Result, error) {
+	delays, err := GateDelays(nl, corner, opts)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeWithDelays(nl, corner, delays)
+}
+
+// AnalyzeWithDelays runs STA with externally supplied per-gate delays
+// (e.g. parsed back from an SDF file).
+func AnalyzeWithDelays(nl *netlist.Netlist, corner cells.Corner, delays []float64) (*Result, error) {
+	if len(delays) != len(nl.Gates) {
+		return nil, fmt.Errorf("sta: %d gate delays for %d gates", len(delays), len(nl.Gates))
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	arrival := make([]float64, len(nl.Nets))
+	for _, gi := range order {
+		g := &nl.Gates[gi]
+		worst := 0.0
+		for _, in := range g.Inputs {
+			if arrival[in] > worst {
+				worst = arrival[in]
+			}
+		}
+		arrival[g.Output] = worst + delays[gi]
+	}
+
+	res := &Result{
+		Corner:         corner,
+		GateDelay:      delays,
+		Arrival:        arrival,
+		CriticalOutput: -1,
+	}
+	for _, po := range nl.PrimaryOutputs {
+		if arrival[po] >= res.Delay {
+			res.Delay = arrival[po]
+			res.CriticalOutput = po
+		}
+	}
+
+	// Critical path: walk back from the critical output through the
+	// worst-arrival input of each driver.
+	if res.CriticalOutput >= 0 {
+		var path []netlist.GateID
+		net := res.CriticalOutput
+		for {
+			gi := nl.Nets[net].Driver
+			if gi == netlist.None {
+				break
+			}
+			path = append(path, gi)
+			g := &nl.Gates[gi]
+			worst, worstNet := -1.0, netlist.NetID(-1)
+			for _, in := range g.Inputs {
+				if arrival[in] > worst {
+					worst = arrival[in]
+					worstNet = in
+				}
+			}
+			if worstNet < 0 {
+				break
+			}
+			net = worstNet
+		}
+		// Reverse to input-first order.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		res.CriticalPath = path
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/netlist"
+)
+
+func nominal() cells.Corner {
+	m := cells.DefaultScaling()
+	return cells.Corner{V: m.Vnom, T: m.Tnom}
+}
+
+// noJitter makes delays exactly predictable for structural assertions.
+func noJitter() Options {
+	return Options{Scaling: cells.DefaultScaling(), JitterSpread: 0}
+}
+
+func TestChainArrivalIsSum(t *testing.T) {
+	b := netlist.NewBuilder("chain")
+	x := b.Input("x")
+	n := x
+	for i := 0; i < 4; i++ {
+		n = b.Not(n)
+	}
+	b.Output(n)
+	nl := b.MustBuild()
+
+	res, err := Analyze(nl, nominal(), noJitter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := cells.NominalTiming(cells.Inv)
+	per := tm.Intrinsic + tm.PerLoad // each stage drives exactly one load
+	want := 4 * per
+	if math.Abs(res.Delay-want) > 1e-9 {
+		t.Fatalf("chain delay = %v, want %v", res.Delay, want)
+	}
+	if len(res.CriticalPath) != 4 {
+		t.Fatalf("critical path has %d gates, want 4", len(res.CriticalPath))
+	}
+}
+
+func TestCriticalPathMonotoneLevels(t *testing.T) {
+	nl := circuits.NewRippleAdder(8)
+	res, err := Analyze(nl, nominal(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.CriticalPath); i++ {
+		if levels[res.CriticalPath[i]] <= levels[res.CriticalPath[i-1]] {
+			t.Fatalf("critical path not monotone in level at hop %d", i)
+		}
+	}
+}
+
+// TestArrivalDominance: every net's arrival is at least its driver's
+// delay, and at least each fanin arrival.
+func TestArrivalDominance(t *testing.T) {
+	nl := circuits.NewCLAAdder(16)
+	res, err := Analyze(nl, cells.Corner{V: 0.85, T: 50}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		out := res.Arrival[g.Output]
+		if out < res.GateDelay[gi]-1e-9 {
+			t.Fatalf("gate %s: arrival %v below own delay %v", g.Name, out, res.GateDelay[gi])
+		}
+		for _, in := range g.Inputs {
+			if out < res.Arrival[in]+res.GateDelay[gi]-1e-9 {
+				t.Fatalf("gate %s: arrival %v violates fanin %v + delay %v",
+					g.Name, out, res.Arrival[in], res.GateDelay[gi])
+			}
+		}
+	}
+}
+
+// TestStaticDelayScalesWithCorner: lower voltage slows the whole circuit;
+// the ITD sign flip shows up in the full-circuit delay too.
+func TestStaticDelayScalesWithCorner(t *testing.T) {
+	nl := circuits.NewRippleAdder(16)
+	delay := func(c cells.Corner) float64 {
+		res, err := Analyze(nl, c, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Delay
+	}
+	if d81, d100 := delay(cells.Corner{V: 0.81, T: 25}), delay(cells.Corner{V: 1.00, T: 25}); d81 <= d100 {
+		t.Errorf("0.81V delay (%v) should exceed 1.00V delay (%v)", d81, d100)
+	}
+	if cold, hot := delay(cells.Corner{V: 0.81, T: 0}), delay(cells.Corner{V: 0.81, T: 100}); hot >= cold {
+		t.Errorf("at 0.81V heating should reduce delay: cold %v, hot %v", cold, hot)
+	}
+	if cold, hot := delay(cells.Corner{V: 1.00, T: 0}), delay(cells.Corner{V: 1.00, T: 100}); hot <= cold {
+		t.Errorf("at 1.00V heating should increase delay: cold %v, hot %v", cold, hot)
+	}
+}
+
+func TestGateDelaysRejectsInvalidCorner(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	if _, err := GateDelays(nl, cells.Corner{V: 0.3, T: 25}, DefaultOptions()); err == nil {
+		t.Fatal("GateDelays accepted a sub-threshold corner")
+	}
+}
+
+func TestAnalyzeWithDelaysLengthMismatch(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	if _, err := AnalyzeWithDelays(nl, nominal(), []float64{1, 2}); err == nil {
+		t.Fatal("AnalyzeWithDelays accepted a short delay slice")
+	}
+}
+
+// TestJitterPerturbsButBounded: jitter changes delays by at most the
+// spread and never the sign.
+func TestJitterPerturbsButBounded(t *testing.T) {
+	nl := circuits.NewRippleAdder(8)
+	base, err := GateDelays(nl, nominal(), noJitter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := GateDelays(nl, nominal(), Options{Scaling: cells.DefaultScaling(), JitterSpread: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	different := 0
+	for i := range base {
+		ratio := jit[i] / base[i]
+		if ratio < 0.98-1e-9 || ratio > 1.02+1e-9 {
+			t.Fatalf("gate %d jitter ratio %v outside ±2%%", i, ratio)
+		}
+		if ratio != 1 {
+			different++
+		}
+	}
+	if different == 0 {
+		t.Error("jitter had no effect on any gate")
+	}
+}
+
+// TestFUStaticDelayOrdering sanity-checks that the multiplier is slower
+// than the adder at the same corner, as in any real library.
+func TestFUStaticDelayOrdering(t *testing.T) {
+	add := circuits.NewRippleAdder(32)
+	mul := circuits.NewTruncMultiplier(32)
+	ra, err := Analyze(add, nominal(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Analyze(mul, nominal(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Delay <= ra.Delay {
+		t.Errorf("INT_MUL static delay (%v) should exceed INT_ADD (%v)", rm.Delay, ra.Delay)
+	}
+}

@@ -1,0 +1,70 @@
+package sta
+
+import (
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+)
+
+func TestAgingSlowsStaticDelay(t *testing.T) {
+	nl := circuits.NewRippleAdder(16)
+	corner := cells.Corner{V: 0.85, T: 50}
+	fresh, err := Analyze(nl, corner, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agedOpts := DefaultOptions()
+	aging := cells.DefaultAging(3)
+	agedOpts.Aging = &aging
+	aged, err := Analyze(nl, corner, agedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged.Delay <= fresh.Delay {
+		t.Errorf("3-year aged delay (%v) should exceed fresh (%v)", aged.Delay, fresh.Delay)
+	}
+	if ratio := aged.Delay / fresh.Delay; ratio > 1.5 {
+		t.Errorf("aging slowdown %.2fx implausibly large", ratio)
+	}
+}
+
+func TestProcessVariationShiftsDies(t *testing.T) {
+	nl := circuits.NewRippleAdder(16)
+	corner := cells.Corner{V: 0.90, T: 25}
+	delayOf := func(die int64) float64 {
+		opts := DefaultOptions()
+		p := cells.DefaultProcess(die)
+		opts.Process = &p
+		res, err := Analyze(nl, corner, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Delay
+	}
+	d1, d2, d3 := delayOf(1), delayOf(2), delayOf(3)
+	if d1 == d2 && d2 == d3 {
+		t.Error("three dies produced identical static delays")
+	}
+	// Same die is reproducible.
+	if delayOf(1) != d1 {
+		t.Error("per-die delay not deterministic")
+	}
+}
+
+func TestVariationOptionValidation(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	corner := cells.Corner{V: 1, T: 25}
+	opts := DefaultOptions()
+	bad := cells.ProcessModel{DieSigma: -1}
+	opts.Process = &bad
+	if _, err := GateDelays(nl, corner, opts); err == nil {
+		t.Error("accepted invalid process model")
+	}
+	opts = DefaultOptions()
+	badAge := cells.AgingModel{A: -1, N: 0.2}
+	opts.Aging = &badAge
+	if _, err := GateDelays(nl, corner, opts); err == nil {
+		t.Error("accepted invalid aging model")
+	}
+}

@@ -1,0 +1,100 @@
+package vcd
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRoundTripArbitraryToggles: arbitrary monotone toggle
+// sequences written as raw VCD text parse back exactly.
+func TestQuickRoundTripArbitraryToggles(t *testing.T) {
+	f := func(deltas []uint16, firstVal bool) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		if len(deltas) > 100 {
+			deltas = deltas[:100]
+		}
+		// Build a strictly increasing timeline.
+		var buf bytes.Buffer
+		buf.WriteString("$var wire 1 ! sig $end\n$enddefinitions $end\n")
+		now := int64(0)
+		val := firstVal
+		var want []Change
+		for _, d := range deltas {
+			now += int64(d) + 1
+			fmt.Fprintf(&buf, "#%d\n", now)
+			c := byte('0')
+			if val {
+				c = '1'
+			}
+			fmt.Fprintf(&buf, "%c!\n", c)
+			want = append(want, Change{Time: now, Val: val})
+			val = !val
+		}
+		parsed, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		got := parsed.Signals["sig"]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Times stay sorted (parser property).
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Time < got[j].Time })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExtractDelaysInWindow: every extracted delay lies within
+// [0, window) regardless of the change times.
+func TestQuickExtractDelaysInWindow(t *testing.T) {
+	f := func(times []uint16) bool {
+		changes := make([]Change, 0, len(times))
+		var sorted []int64
+		for _, tm := range times {
+			sorted = append(sorted, int64(tm))
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		val := false
+		for _, tm := range sorted {
+			changes = append(changes, Change{Time: tm, Val: val})
+			val = !val
+		}
+		file := &File{Signals: map[string][]Change{"o": changes}}
+		const windowPS = 3.0 // 3000 fs
+		delays, err := file.ExtractDelays([]string{"o"}, windowPS, 30)
+		if err != nil {
+			return false
+		}
+		for _, d := range delays {
+			if d < 0 || d >= windowPS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCommentishGarbage(t *testing.T) {
+	// Defensive: tokens the writer never emits must be rejected, not
+	// silently swallowed.
+	text := "$enddefinitions $end\n#10\n2!\n"
+	if _, err := Parse(strings.NewReader(text)); err == nil {
+		t.Fatal("accepted unknown value character")
+	}
+}

@@ -1,0 +1,280 @@
+// Package vcd writes and parses Value Change Dump files and extracts
+// per-cycle dynamic delays from them. In the paper's flow, gate-level
+// simulation emits a VCD of all switching activity and a script parses it
+// to compute the dynamic delay of every cycle (time of the last toggled
+// output after the clock edge); this package is both halves of that step.
+//
+// Timestamps are written in femtoseconds (timescale 1 fs) so picosecond
+// gate delays with fractional parts survive the integer VCD timeline.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tevot/internal/netlist"
+)
+
+// Change is one recorded value change of one signal.
+type Change struct {
+	Time int64 // femtoseconds
+	Val  bool
+}
+
+// File is a parsed VCD document.
+type File struct {
+	Timescale string
+	Date      string
+	Version   string
+	// Signals maps signal name to its change list, time-ordered.
+	Signals map[string][]Change
+}
+
+const fsPerPs = 1000
+
+// ToFS converts a simulator time (ps) to the VCD integer timeline.
+func ToFS(ps float64) int64 { return int64(ps*fsPerPs + 0.5) }
+
+// Writer incrementally emits a VCD file for the primary inputs and
+// outputs of a netlist across a stream of simulation cycles.
+type Writer struct {
+	w      *bufio.Writer
+	nl     *netlist.Netlist
+	window int64 // fs per cycle window
+	base   int64
+	ids    map[netlist.NetID]string
+	header bool
+	err    error
+
+	pending  map[string]bool // changes at the current timestamp
+	lastTime int64
+	haveTime bool
+}
+
+// NewWriter creates a Writer. window is the simulated cycle window in ps:
+// cycle k's events land at k*window + t on the VCD timeline.
+func NewWriter(w io.Writer, nl *netlist.Netlist, window float64) *Writer {
+	return &Writer{
+		w:       bufio.NewWriter(w),
+		nl:      nl,
+		window:  ToFS(window),
+		ids:     make(map[netlist.NetID]string),
+		pending: make(map[string]bool),
+	}
+}
+
+// idCode produces the printable short identifier for the n-th declared
+// variable, in the usual VCD base-94 style.
+func idCode(n int) string {
+	const lo, hi = 33, 127
+	s := make([]byte, 0, 3)
+	for {
+		s = append(s, byte(lo+n%(hi-lo)))
+		n /= hi - lo
+		if n == 0 {
+			break
+		}
+		n--
+	}
+	return string(s)
+}
+
+// WriteHeader emits the declaration section: timescale, scope, and one
+// wire per primary input and output. It must be called before BeginCycle.
+func (vw *Writer) WriteHeader(date, version string) error {
+	if vw.header {
+		return fmt.Errorf("vcd: header already written")
+	}
+	vw.header = true
+	w := vw.w
+	fmt.Fprintf(w, "$date %s $end\n", date)
+	fmt.Fprintf(w, "$version %s $end\n", version)
+	fmt.Fprintf(w, "$timescale 1 fs $end\n")
+	fmt.Fprintf(w, "$scope module %s $end\n", vw.nl.Name)
+	n := 0
+	declare := func(net netlist.NetID) {
+		id := idCode(n)
+		n++
+		vw.ids[net] = id
+		fmt.Fprintf(w, "$var wire 1 %s %s $end\n", id, vw.nl.Nets[net].Name)
+	}
+	for _, pi := range vw.nl.PrimaryInputs {
+		declare(pi)
+	}
+	for _, po := range vw.nl.PrimaryOutputs {
+		declare(po)
+	}
+	fmt.Fprintf(w, "$upscope $end\n")
+	fmt.Fprintf(w, "$enddefinitions $end\n")
+	// All signals start unknown.
+	fmt.Fprintf(w, "$dumpvars\n")
+	for _, pi := range vw.nl.PrimaryInputs {
+		fmt.Fprintf(w, "x%s\n", vw.ids[pi])
+	}
+	for _, po := range vw.nl.PrimaryOutputs {
+		fmt.Fprintf(w, "x%s\n", vw.ids[po])
+	}
+	fmt.Fprintf(w, "$end\n")
+	return nil
+}
+
+// BeginCycle positions the timeline at the start of cycle k.
+func (vw *Writer) BeginCycle(k int) {
+	vw.flushPending()
+	vw.base = int64(k) * vw.window
+}
+
+// Observe records one net transition at time t (ps) within the current
+// cycle. Nets that are not primary inputs or outputs are ignored, so this
+// method can be used directly as a sim.Observer.
+func (vw *Writer) Observe(net netlist.NetID, t float64, val bool) {
+	id, ok := vw.ids[net]
+	if !ok {
+		return
+	}
+	ts := vw.base + ToFS(t)
+	if vw.haveTime && ts != vw.lastTime {
+		vw.flushPending()
+	}
+	vw.lastTime = ts
+	vw.haveTime = true
+	vw.pending[id] = val
+}
+
+func (vw *Writer) flushPending() {
+	if len(vw.pending) == 0 {
+		vw.haveTime = false
+		return
+	}
+	fmt.Fprintf(vw.w, "#%d\n", vw.lastTime)
+	ids := make([]string, 0, len(vw.pending))
+	for id := range vw.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := byte('0')
+		if vw.pending[id] {
+			v = '1'
+		}
+		fmt.Fprintf(vw.w, "%c%s\n", v, id)
+	}
+	for id := range vw.pending {
+		delete(vw.pending, id)
+	}
+	vw.haveTime = false
+}
+
+// Close flushes buffered output. The Writer must not be used afterwards.
+func (vw *Writer) Close() error {
+	vw.flushPending()
+	return vw.w.Flush()
+}
+
+// Parse reads a VCD document. Only single-bit wires are supported, which
+// is all this flow produces. Unknown ('x', 'z') values clear the signal's
+// recorded state but are not kept as changes.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	f := &File{Signals: make(map[string][]Change)}
+	names := make(map[string]string) // id -> name
+	var now int64
+	inDefs := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$date"):
+			f.Date = trimKeyword(line, "$date")
+		case strings.HasPrefix(line, "$version"):
+			f.Version = trimKeyword(line, "$version")
+		case strings.HasPrefix(line, "$timescale"):
+			f.Timescale = trimKeyword(line, "$timescale")
+		case strings.HasPrefix(line, "$var"):
+			fields := strings.Fields(line)
+			// $var wire 1 <id> <name> $end
+			if len(fields) < 6 || fields[1] != "wire" {
+				return nil, fmt.Errorf("vcd: unsupported var declaration %q", line)
+			}
+			if fields[2] != "1" {
+				return nil, fmt.Errorf("vcd: only 1-bit wires supported, got %q", line)
+			}
+			names[fields[3]] = fields[4]
+			f.Signals[fields[4]] = nil
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$"):
+			// scope/upscope/dumpvars/end markers: no content we need.
+		case line[0] == '#':
+			t, err := strconv.ParseInt(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad timestamp %q: %w", line, err)
+			}
+			if t < now {
+				return nil, fmt.Errorf("vcd: timestamp %d goes backwards (now %d)", t, now)
+			}
+			now = t
+		case line[0] == '0' || line[0] == '1':
+			if inDefs {
+				return nil, fmt.Errorf("vcd: value change %q before $enddefinitions", line)
+			}
+			id := line[1:]
+			name, ok := names[id]
+			if !ok {
+				return nil, fmt.Errorf("vcd: change for undeclared id %q", id)
+			}
+			f.Signals[name] = append(f.Signals[name], Change{Time: now, Val: line[0] == '1'})
+		case line[0] == 'x' || line[0] == 'z' || line[0] == 'X' || line[0] == 'Z':
+			// Unknown values appear only in the initial dump; ignore.
+		default:
+			return nil, fmt.Errorf("vcd: unrecognized line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func trimKeyword(line, kw string) string {
+	s := strings.TrimPrefix(line, kw)
+	s = strings.TrimSuffix(strings.TrimSpace(s), "$end")
+	return strings.TrimSpace(s)
+}
+
+// ExtractDelays computes the per-cycle dynamic delay from the parsed VCD:
+// for each cycle window [k*window, (k+1)*window), the latest change of
+// any of the named output signals, relative to the window start. Windows
+// with no output activity report 0. window is in ps; cycles is the number
+// of windows to extract.
+func (f *File) ExtractDelays(outputs []string, window float64, cycles int) ([]float64, error) {
+	wfs := ToFS(window)
+	if wfs <= 0 {
+		return nil, fmt.Errorf("vcd: non-positive window")
+	}
+	delays := make([]float64, cycles)
+	for _, name := range outputs {
+		changes, ok := f.Signals[name]
+		if !ok {
+			return nil, fmt.Errorf("vcd: no signal %q in dump", name)
+		}
+		for _, ch := range changes {
+			k := ch.Time / wfs
+			if k < 0 || k >= int64(cycles) {
+				continue
+			}
+			rel := float64(ch.Time-k*wfs) / fsPerPs
+			if rel > delays[k] {
+				delays[k] = rel
+			}
+		}
+	}
+	return delays, nil
+}

@@ -1,0 +1,183 @@
+package vcd
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/sim"
+	"tevot/internal/sta"
+)
+
+// TestDumpAndExtractMatchesSimulator: dynamic delays recovered from the
+// VCD must equal the simulator's own per-cycle delays — the same
+// consistency the paper relies on between ModelSim and its VCD parser.
+func TestDumpAndExtractMatchesSimulator(t *testing.T) {
+	nl := circuits.NewRippleAdder(16)
+	corner := cells.Corner{V: 0.85, T: 25}
+	delays, err := sta.GateDelays(nl, corner, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := sta.AnalyzeWithDelays(nl, corner, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := static.Delay * 1.5 // paper: simulate slow enough for no errors
+	r, err := sim.NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nl, window)
+	if err := w.WriteHeader("2026-07-04", "tevot-sim"); err != nil {
+		t.Fatal(err)
+	}
+	r.SetObserver(w.Observe)
+
+	const cycles = 40
+	rng := rand.New(rand.NewSource(5))
+	want := make([]float64, cycles)
+	enc := func(a, b uint64) []bool {
+		v := make([]bool, 32)
+		for i := 0; i < 16; i++ {
+			v[i] = a>>i&1 == 1
+			v[16+i] = b>>i&1 == 1
+		}
+		return v
+	}
+	prev := enc(0, 0)
+	for k := 0; k < cycles; k++ {
+		w.BeginCycle(k)
+		cur := enc(uint64(rng.Intn(1<<16)), uint64(rng.Intn(1<<16)))
+		res, err := r.Cycle(prev, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = res.Delay
+		prev = cur
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outNames := make([]string, len(nl.PrimaryOutputs))
+	for i, po := range nl.PrimaryOutputs {
+		outNames[i] = nl.Nets[po].Name
+	}
+	got, err := f.ExtractDelays(outNames, window, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 0.001 { // fs quantization
+			t.Fatalf("cycle %d: VCD delay %v, simulator %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared id":  "$enddefinitions $end\n#0\n1!\n",
+		"bad timestamp":  "$enddefinitions $end\n#xyz\n",
+		"change in defs": "$var wire 1 ! a $end\n1!\n",
+		"wide wire":      "$var wire 8 ! bus $end\n",
+		"garbage":        "$enddefinitions $end\nhello\n",
+		"time backwards": "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n1!\n#3\n0!\n",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+}
+
+func TestParseHeaderFields(t *testing.T) {
+	text := "$date today $end\n$version v1 $end\n$timescale 1 fs $end\n" +
+		"$var wire 1 ! sig $end\n$enddefinitions $end\n#10\n1!\n#20\n0!\n"
+	f, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Date != "today" || f.Version != "v1" || f.Timescale != "1 fs" {
+		t.Errorf("header = %q/%q/%q", f.Date, f.Version, f.Timescale)
+	}
+	ch := f.Signals["sig"]
+	if len(ch) != 2 || ch[0] != (Change{10, true}) || ch[1] != (Change{20, false}) {
+		t.Errorf("changes = %v", ch)
+	}
+}
+
+func TestExtractDelaysMissingSignal(t *testing.T) {
+	f := &File{Signals: map[string][]Change{}}
+	if _, err := f.ExtractDelays([]string{"nope"}, 100, 1); err == nil {
+		t.Fatal("ExtractDelays accepted a missing signal")
+	}
+}
+
+func TestExtractDelaysQuietWindow(t *testing.T) {
+	f := &File{Signals: map[string][]Change{"o": {{Time: 1500, Val: true}}}}
+	d, err := f.ExtractDelays([]string{"o"}, 1.0, 3) // 1 ps = 1000 fs windows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 || d[2] != 0 {
+		t.Errorf("quiet windows should be 0: %v", d)
+	}
+	if math.Abs(d[1]-0.5) > 1e-9 {
+		t.Errorf("window 1 delay = %v, want 0.5 ps", d[1])
+	}
+}
+
+func TestIDCodeUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("idCode(%d) = %q collides", i, id)
+		}
+		seen[id] = true
+		for _, c := range []byte(id) {
+			if c < 33 || c > 126 {
+				t.Fatalf("idCode(%d) contains non-printable byte %d", i, c)
+			}
+		}
+	}
+}
+
+func TestToFSRounds(t *testing.T) {
+	if got := ToFS(1.0015); got != 1002 {
+		t.Errorf("ToFS(1.0015) = %d, want 1002", got)
+	}
+	if got := ToFS(0); got != 0 {
+		t.Errorf("ToFS(0) = %d, want 0", got)
+	}
+}
+
+func TestWriterHeaderTwice(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	w := NewWriter(&bytes.Buffer{}, nl, 100)
+	if err := w.WriteHeader("d", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader("d", "v"); err == nil {
+		t.Fatal("second WriteHeader succeeded")
+	}
+}
+
+func ExampleFile_ExtractDelays() {
+	text := "$var wire 1 ! s[0] $end\n$enddefinitions $end\n#250\n1!\n#1400\n0!\n"
+	f, _ := Parse(strings.NewReader(text))
+	d, _ := f.ExtractDelays([]string{"s[0]"}, 1.0, 2)
+	fmt.Printf("%.2f %.2f\n", d[0], d[1])
+	// Output: 0.25 0.40
+}

@@ -1,0 +1,308 @@
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+)
+
+// Parse reads structural Verilog in the subset emitted by Write (one
+// module; input/output/wire declarations; named-port primitive
+// instances) and reconstructs the netlist. Gate and net identities are
+// preserved by name, so a written-and-reparsed netlist computes the same
+// function and accepts the same SDF annotations.
+func Parse(r io.Reader) (*netlist.Netlist, error) {
+	stmts, err := statements(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{
+		nl:   &netlist.Netlist{Const0: -1, Const1: -1},
+		nets: map[string]netlist.NetID{},
+	}
+	for _, s := range stmts {
+		if err := p.statement(s); err != nil {
+			return nil, err
+		}
+	}
+	if !p.ended {
+		return nil, fmt.Errorf("verilog: missing endmodule")
+	}
+	if err := p.resolveOutputs(); err != nil {
+		return nil, err
+	}
+	if err := p.nl.Validate(); err != nil {
+		return nil, err
+	}
+	return p.nl, nil
+}
+
+// statements splits the source into ';'-terminated statements, dropping
+// comments; "endmodule" needs no semicolon.
+func statements(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	text := b.String()
+	var out []string
+	for _, part := range strings.Split(text, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		// "endmodule" may be glued to the tail of the last statement.
+		if strings.HasSuffix(part, "endmodule") {
+			head := strings.TrimSpace(strings.TrimSuffix(part, "endmodule"))
+			if head != "" {
+				out = append(out, head)
+			}
+			out = append(out, "endmodule")
+			continue
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+type outDecl struct {
+	name  string
+	width int
+}
+
+type vparser struct {
+	nl      *netlist.Netlist
+	nets    map[string]netlist.NetID
+	outs    []outDecl
+	started bool
+	ended   bool
+}
+
+func (p *vparser) newNet(name string, driver netlist.GateID) netlist.NetID {
+	id := netlist.NetID(len(p.nl.Nets))
+	p.nl.Nets = append(p.nl.Nets, netlist.Net{Name: name, Driver: driver})
+	p.nets[name] = id
+	return id
+}
+
+func (p *vparser) statement(s string) error {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "module":
+		if p.started {
+			return fmt.Errorf("verilog: multiple modules are not supported")
+		}
+		p.started = true
+		name, _, ok := strings.Cut(s[len("module"):], "(")
+		if !ok {
+			return fmt.Errorf("verilog: malformed module header %q", s)
+		}
+		p.nl.Name = strings.TrimSpace(name)
+		return nil
+	case "endmodule":
+		p.ended = true
+		return nil
+	case "input":
+		return p.declare(s[len("input"):], true)
+	case "output":
+		return p.declare(s[len("output"):], false)
+	case "wire":
+		name := strings.TrimSpace(s[len("wire"):])
+		if name == "" || strings.ContainsAny(name, " [") {
+			return fmt.Errorf("verilog: unsupported wire declaration %q", s)
+		}
+		p.newNet(name, netlist.None)
+		return nil
+	default:
+		return p.instance(s)
+	}
+}
+
+// declare handles "input [7:0] a" / "output cout" declarations.
+func (p *vparser) declare(rest string, isInput bool) error {
+	rest = strings.TrimSpace(rest)
+	width := 1
+	if strings.HasPrefix(rest, "[") {
+		close := strings.Index(rest, "]")
+		if close < 0 {
+			return fmt.Errorf("verilog: malformed range in %q", rest)
+		}
+		rng := rest[1:close]
+		hi, lo, ok := strings.Cut(rng, ":")
+		if !ok {
+			return fmt.Errorf("verilog: malformed range %q", rng)
+		}
+		h, err1 := strconv.Atoi(strings.TrimSpace(hi))
+		l, err2 := strconv.Atoi(strings.TrimSpace(lo))
+		if err1 != nil || err2 != nil || l != 0 || h < 0 {
+			return fmt.Errorf("verilog: unsupported range [%s]", rng)
+		}
+		width = h + 1
+		rest = strings.TrimSpace(rest[close+1:])
+	}
+	name := strings.TrimSpace(rest)
+	if name == "" {
+		return fmt.Errorf("verilog: declaration without a name")
+	}
+	if isInput {
+		for i := 0; i < width; i++ {
+			bitName := name
+			if width > 1 {
+				bitName = fmt.Sprintf("%s[%d]", name, i)
+			}
+			id := p.newNet(bitName, netlist.None)
+			p.nl.PrimaryInputs = append(p.nl.PrimaryInputs, id)
+		}
+		return nil
+	}
+	p.outs = append(p.outs, outDecl{name: name, width: width})
+	return nil
+}
+
+// instance parses "KIND instname (.Y(n5), .A(a[0]), ...)".
+func (p *vparser) instance(s string) error {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(s), ")") {
+		return fmt.Errorf("verilog: unrecognized statement %q", s)
+	}
+	head := strings.Fields(s[:open])
+	if len(head) != 2 {
+		return fmt.Errorf("verilog: malformed instance header %q", s[:open])
+	}
+	kind, err := cells.ParseKind(head[0])
+	if err != nil {
+		return err
+	}
+	instName := head[1]
+	body := strings.TrimSpace(s[open+1:])
+	body = strings.TrimSuffix(body, ")")
+
+	pins := map[string]string{}
+	for _, conn := range splitConns(body) {
+		conn = strings.TrimSpace(conn)
+		if !strings.HasPrefix(conn, ".") {
+			return fmt.Errorf("verilog: positional connections not supported in %q", s)
+		}
+		pin, ref, ok := strings.Cut(conn[1:], "(")
+		if !ok || !strings.HasSuffix(ref, ")") {
+			return fmt.Errorf("verilog: malformed connection %q", conn)
+		}
+		pins[strings.TrimSpace(pin)] = strings.TrimSpace(strings.TrimSuffix(ref, ")"))
+	}
+
+	outRef, ok := pins["Y"]
+	if !ok {
+		return fmt.Errorf("verilog: instance %s has no output pin Y", instName)
+	}
+	gid := netlist.GateID(len(p.nl.Gates))
+	outNet, err := p.resolveRef(outRef)
+	if err != nil {
+		return err
+	}
+	if p.nl.Nets[outNet].Driver != netlist.None {
+		return fmt.Errorf("verilog: net %q has multiple drivers", outRef)
+	}
+	p.nl.Nets[outNet].Driver = gid
+
+	inPins := portPins(kind)
+	ins := make([]netlist.NetID, len(inPins))
+	for i, pin := range inPins {
+		ref, ok := pins[pin]
+		if !ok {
+			return fmt.Errorf("verilog: instance %s missing pin %s", instName, pin)
+		}
+		id, err := p.resolveRef(ref)
+		if err != nil {
+			return err
+		}
+		ins[i] = id
+		p.nl.Nets[id].Fanout = append(p.nl.Nets[id].Fanout, gid)
+	}
+	p.nl.Gates = append(p.nl.Gates, netlist.Gate{Name: instName, Kind: kind, Inputs: ins, Output: outNet})
+	return nil
+}
+
+// splitConns splits ".A(x), .B(y)" at top-level commas.
+func splitConns(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[start:]) != "" {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// resolveRef maps a Verilog net reference to a NetID, creating constant
+// nets and implicit wires on first use.
+func (p *vparser) resolveRef(ref string) (netlist.NetID, error) {
+	switch ref {
+	case "1'b0":
+		if p.nl.Const0 < 0 {
+			p.nl.Const0 = p.newNet("tie0", netlist.None)
+		}
+		return p.nl.Const0, nil
+	case "1'b1":
+		if p.nl.Const1 < 0 {
+			p.nl.Const1 = p.newNet("tie1", netlist.None)
+		}
+		return p.nl.Const1, nil
+	}
+	if id, ok := p.nets[ref]; ok {
+		return id, nil
+	}
+	// Implicit wire (also covers output-port bits driven by instances).
+	return p.newNet(ref, netlist.None), nil
+}
+
+// resolveOutputs binds the recorded output declarations to their nets,
+// LSB first.
+func (p *vparser) resolveOutputs() error {
+	if len(p.outs) == 0 {
+		return fmt.Errorf("verilog: module has no outputs")
+	}
+	for _, o := range p.outs {
+		for i := 0; i < o.width; i++ {
+			name := o.name
+			if o.width > 1 {
+				name = fmt.Sprintf("%s[%d]", o.name, i)
+			}
+			id, ok := p.nets[name]
+			if !ok {
+				return fmt.Errorf("verilog: output %q is never driven", name)
+			}
+			p.nl.PrimaryOutputs = append(p.nl.PrimaryOutputs, id)
+		}
+	}
+	return nil
+}

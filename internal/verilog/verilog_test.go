@@ -1,0 +1,184 @@
+package verilog
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tevot/internal/circuits"
+	"tevot/internal/netlist"
+)
+
+// TestRoundTripFunctionalEquivalence: write -> parse preserves the
+// computed function for every functional unit.
+func TestRoundTripFunctionalEquivalence(t *testing.T) {
+	for _, fu := range circuits.AllFUs {
+		nl, err := fu.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatalf("%v: %v", fu, err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: parse: %v", fu, err)
+		}
+		if back.NumGates() != nl.NumGates() {
+			t.Fatalf("%v: %d gates after round trip, want %d", fu, back.NumGates(), nl.NumGates())
+		}
+		if len(back.PrimaryInputs) != len(nl.PrimaryInputs) ||
+			len(back.PrimaryOutputs) != len(nl.PrimaryOutputs) {
+			t.Fatalf("%v: port count changed", fu)
+		}
+		rng := rand.New(rand.NewSource(int64(fu)))
+		for i := 0; i < 50; i++ {
+			a, b := rng.Uint32(), rng.Uint32()
+			in := circuits.EncodeOperands(a, b)
+			want, err := nl.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%v: output bit %d differs after round trip for %#x,%#x", fu, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripPreservesInstanceNames: SDF files reference instances by
+// name, so the round trip must keep them.
+func TestRoundTripPreservesInstanceNames(t *testing.T) {
+	nl := circuits.NewRippleAdder(8)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for gi := range nl.Gates {
+		names[nl.Gates[gi].Name] = true
+	}
+	for gi := range back.Gates {
+		if !names[back.Gates[gi].Name] {
+			t.Fatalf("instance %q not in the original netlist", back.Gates[gi].Name)
+		}
+	}
+}
+
+func TestWriteOutputShape(t *testing.T) {
+	nl := circuits.NewRippleAdder(4)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"module int_add4_rca (a, b",
+		"input [3:0] a",
+		"input [3:0] b",
+		"XOR2", ".Y(", "endmodule",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("verilog output missing %q", want)
+		}
+	}
+}
+
+func TestRoundTripRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		nl, err := netlist.Random(netlist.RandomOptions{Inputs: 5, Gates: 40, Outputs: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, buf.String())
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 30; i++ {
+			in := make([]bool, 5)
+			for j := range in {
+				in[j] = rng.Intn(2) == 1
+			}
+			want, err := nl.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d: output %d differs", seed, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":        "input a;\nendmodule",
+		"no endmodule":     "module m (a);\ninput a;",
+		"unknown cell":     "module m (a, y);\ninput a;\noutput y;\nFOO u1 (.Y(y), .A(a));\nendmodule",
+		"multi driver":     "module m (a, y);\ninput a;\noutput y;\nBUF u1 (.Y(y), .A(a));\nBUF u2 (.Y(y), .A(a));\nendmodule",
+		"missing pin":      "module m (a, y);\ninput a;\noutput y;\nAND2 u1 (.Y(y), .A(a));\nendmodule",
+		"undriven output":  "module m (a, y);\ninput a;\noutput y;\nendmodule",
+		"positional conns": "module m (a, y);\ninput a;\noutput y;\nBUF u1 (y, a);\nendmodule",
+		"no outputs":       "module m (a);\ninput a;\nendmodule",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+}
+
+func TestParseScalarPortsAndConstants(t *testing.T) {
+	src := `// tiny example
+module m (a, b, y);
+  input a;
+  input b;
+  output y;
+  wire t;
+  AND2 u1 (.Y(t), .A(a), .B(1'b1));
+  OR2 u2 (.Y(y), .A(t), .B(b));
+endmodule`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b, want bool
+	}{
+		{false, false, false},
+		{true, false, true},
+		{false, true, true},
+		{true, true, true},
+	} {
+		out, err := nl.Eval([]bool{tc.a, tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != tc.want {
+			t.Errorf("m(%v,%v) = %v, want %v", tc.a, tc.b, out[0], tc.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package workload generates and records the operand streams that drive
+// dynamic timing analysis: uniformly random vectors (the paper's "random
+// data" with a homogeneous distribution over the 2-D operand space) and
+// application streams profiled from the image-processing kernels in
+// internal/imaging (the paper's Sobel/Gaussian datasets profiled through
+// Multi2Sim).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OperandPair is one cycle's input to a 2×32-bit functional unit.
+type OperandPair struct {
+	A, B uint32
+}
+
+// Stream is a named operand sequence; consecutive pairs define the
+// (previous, current) transitions that sensitize paths.
+type Stream struct {
+	Name  string
+	Pairs []OperandPair
+}
+
+// Len returns the number of cycles in the stream.
+func (s *Stream) Len() int { return len(s.Pairs) }
+
+// Slice returns a sub-stream view (shares storage).
+func (s *Stream) Slice(lo, hi int) *Stream {
+	return &Stream{Name: s.Name, Pairs: s.Pairs[lo:hi]}
+}
+
+// RandomInt produces n uniformly random integer operand pairs — the
+// homogeneous 2-D distribution over the full 2^64 input space.
+func RandomInt(n int, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]OperandPair, n)
+	for i := range pairs {
+		pairs[i] = OperandPair{A: rng.Uint32(), B: rng.Uint32()}
+	}
+	return &Stream{Name: "random_data", Pairs: pairs}
+}
+
+// RandomFloat produces n random float32 operand pairs uniform in value
+// over [-lim, lim) — the floating-point analogue of the homogeneous 2-D
+// distribution (uniform random bit patterns would mostly be enormous
+// magnitudes and NaN encodings, which no application feeds an FPU).
+func RandomFloat(n int, lim float64, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]OperandPair, n)
+	for i := range pairs {
+		a := float32((rng.Float64()*2 - 1) * lim)
+		b := float32((rng.Float64()*2 - 1) * lim)
+		pairs[i] = OperandPair{A: math.Float32bits(a), B: math.Float32bits(b)}
+	}
+	return &Stream{Name: "random_data", Pairs: pairs}
+}
+
+// Random produces the default random stream for a unit: RandomInt for
+// integer units, RandomFloat with lim 256 for floating-point units.
+func Random(isFloat bool, n int, seed int64) *Stream {
+	if isFloat {
+		return RandomFloat(n, 256, seed)
+	}
+	return RandomInt(n, seed)
+}
+
+// Recorder accumulates the operand pairs an application actually feeds a
+// functional unit — the profiling step the paper performs with a
+// customized Multi2Sim.
+type Recorder struct {
+	Name  string
+	Pairs []OperandPair
+	// Cap bounds recording (0 = unlimited); profiling a large image set
+	// can otherwise produce very long traces.
+	Cap int
+}
+
+// Record appends one operand pair, honoring Cap by uniform reservoir-less
+// truncation (the head of the stream is kept; timing behaviour has no
+// positional bias in these kernels).
+func (r *Recorder) Record(a, b uint32) {
+	if r.Cap > 0 && len(r.Pairs) >= r.Cap {
+		return
+	}
+	r.Pairs = append(r.Pairs, OperandPair{A: a, B: b})
+}
+
+// Stream returns the recorded pairs as a Stream.
+func (r *Recorder) Stream() (*Stream, error) {
+	if len(r.Pairs) < 2 {
+		return nil, fmt.Errorf("workload: recorder %q has %d pairs; need at least 2", r.Name, len(r.Pairs))
+	}
+	return &Stream{Name: r.Name, Pairs: r.Pairs}, nil
+}
+
+// Interleave merges streams round-robin into one stream of length n,
+// cycling through each source — used to build mixed training data.
+func Interleave(name string, n int, streams ...*Stream) (*Stream, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("workload: no streams to interleave")
+	}
+	for _, s := range streams {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("workload: empty stream %q", s.Name)
+		}
+	}
+	pairs := make([]OperandPair, n)
+	pos := make([]int, len(streams))
+	for i := 0; i < n; i++ {
+		s := streams[i%len(streams)]
+		pairs[i] = s.Pairs[pos[i%len(streams)]%s.Len()]
+		pos[i%len(streams)]++
+	}
+	return &Stream{Name: name, Pairs: pairs}, nil
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomIntDeterministic(t *testing.T) {
+	a := RandomInt(100, 42)
+	b := RandomInt(100, 42)
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("pair %d differs across same-seed generations", i)
+		}
+	}
+	c := RandomInt(100, 43)
+	same := 0
+	for i := range a.Pairs {
+		if a.Pairs[i] == c.Pairs[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/100 identical pairs", same)
+	}
+}
+
+// TestRandomIntCoverage: a homogeneous distribution should set each of
+// the 64 operand bits roughly half the time.
+func TestRandomIntCoverage(t *testing.T) {
+	s := RandomInt(4000, 7)
+	for bit := 0; bit < 32; bit++ {
+		na, nb := 0, 0
+		for _, p := range s.Pairs {
+			if p.A>>bit&1 == 1 {
+				na++
+			}
+			if p.B>>bit&1 == 1 {
+				nb++
+			}
+		}
+		for _, n := range []int{na, nb} {
+			if n < 1700 || n > 2300 {
+				t.Fatalf("bit %d set %d/4000 times; not homogeneous", bit, n)
+			}
+		}
+	}
+}
+
+func TestRandomFloatInRange(t *testing.T) {
+	s := RandomFloat(1000, 256, 9)
+	for i, p := range s.Pairs {
+		for _, bits := range []uint32{p.A, p.B} {
+			f := math.Float32frombits(bits)
+			if math.IsNaN(float64(f)) || math.Abs(float64(f)) >= 256 {
+				t.Fatalf("pair %d: operand %v outside [-256, 256)", i, f)
+			}
+		}
+	}
+}
+
+func TestRandomDispatch(t *testing.T) {
+	if s := Random(false, 10, 1); s.Len() != 10 {
+		t.Error("integer stream wrong length")
+	}
+	s := Random(true, 10, 1)
+	f := math.Float32frombits(s.Pairs[0].A)
+	if math.IsNaN(float64(f)) {
+		t.Error("float stream produced NaN")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := Recorder{Name: "x", Cap: 3}
+	for i := 0; i < 10; i++ {
+		r.Record(uint32(i), 0)
+	}
+	if len(r.Pairs) != 3 {
+		t.Fatalf("recorded %d pairs, cap 3", len(r.Pairs))
+	}
+	s, err := r.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("stream length %d", s.Len())
+	}
+}
+
+func TestRecorderTooShort(t *testing.T) {
+	r := Recorder{Name: "x"}
+	r.Record(1, 2)
+	if _, err := r.Stream(); err == nil {
+		t.Fatal("Stream succeeded with one pair")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := &Stream{Name: "a", Pairs: []OperandPair{{1, 1}, {2, 2}}}
+	b := &Stream{Name: "b", Pairs: []OperandPair{{10, 10}}}
+	m, err := Interleave("mix", 6, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []OperandPair{{1, 1}, {10, 10}, {2, 2}, {10, 10}, {1, 1}, {10, 10}}
+	for i := range want {
+		if m.Pairs[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, m.Pairs[i], want[i])
+		}
+	}
+	if _, err := Interleave("x", 3); err == nil {
+		t.Fatal("Interleave with no streams succeeded")
+	}
+	empty := &Stream{Name: "e"}
+	if _, err := Interleave("x", 3, empty); err == nil {
+		t.Fatal("Interleave with empty stream succeeded")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := RandomInt(10, 1)
+	sub := s.Slice(2, 5)
+	if sub.Len() != 3 || sub.Pairs[0] != s.Pairs[2] {
+		t.Fatal("Slice view incorrect")
+	}
+}
