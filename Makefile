@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Hygiene gate: vet + race-enabled full suite (see scripts/check.sh).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short active fuzzing pass over every parser fuzz target.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/sdf
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/vcd
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/liberty

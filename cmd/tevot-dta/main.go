@@ -4,27 +4,51 @@
 // back-annotated event-driven simulation over a random workload
 // (optionally dumping a VCD), and prints the dynamic-delay statistics.
 //
+// The characterization itself runs as a cell on the fault-tolerant
+// runner, so a -task-timeout deadline or Ctrl-C cancels it cleanly, and
+// -checkpoint/-resume replay a completed analysis without re-simulating.
+// Artifact writes (-sdf, -vcd, -lib) are plain file I/O and stay
+// fail-fast.
+//
 // Example:
 //
 //	tevot-dta -fu INT_ADD -v 0.81 -t 25 -cycles 5000 -sdf add.sdf -vcd add.vcd
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/liberty"
+	"tevot/internal/runner"
 	"tevot/internal/sdf"
 	"tevot/internal/sim"
 	"tevot/internal/vcd"
 	"tevot/internal/workload"
 )
+
+// dtaResult is the checkpointable summary of one characterization cell.
+type dtaResult struct {
+	Cycles      int
+	Events      int64
+	MeanDelay   float64
+	P50         float64
+	P95         float64
+	MaxDelay    float64
+	StaticDelay float64
+	ShmooClocks []float64
+	ShmooTER    []float64
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +63,12 @@ func main() {
 		vcdPath = flag.String("vcd", "", "write the simulation VCD to this file")
 		libPath = flag.String("lib", "", "write the corner's Liberty cell library to this file")
 		shmoo   = flag.Int("shmoo", 0, "print a TER-vs-clock shmoo with this many points")
+
+		workers = flag.Int("workers", 0, "runner worker count (0 = GOMAXPROCS)")
+		taskTO  = flag.Duration("task-timeout", 0, "characterization deadline (0 = none), e.g. 5m")
+		retries = flag.Int("retries", 1, "retries for transient failures")
+		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (replays a completed analysis)")
+		resume  = flag.Bool("resume", false, "skip the characterization if already in -checkpoint")
 	)
 	flag.Parse()
 
@@ -96,7 +126,6 @@ func main() {
 
 	stream := workload.Random(fu.IsFloat(), *cycles+1, *seed)
 
-	var tr *core.Trace
 	if *vcdPath != "" {
 		// Dump a VCD alongside the characterization by rerunning through
 		// an observed runner.
@@ -132,8 +161,73 @@ func main() {
 		fmt.Printf("wrote VCD to %s\n", *vcdPath)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shmooN := *shmoo
+	key := fmt.Sprintf("dta/%s/v%.4f_t%g", fu, corner.V, corner.T)
+	task := runner.Task[dtaResult]{
+		Key: key,
+		Run: func(ctx context.Context) (dtaResult, error) {
+			return characterize(ctx, u, corner, stream, shmooN)
+		},
+	}
+	cfg := runner.Config{
+		Name: fmt.Sprintf("dta fu=%s v=%.4f t=%g cycles=%d seed=%d shmoo=%d",
+			fu, corner.V, corner.T, *cycles, *seed, shmooN),
+		Workers:     *workers,
+		TaskTimeout: *taskTO,
+		Retries:     *retries,
+		Checkpoint:  *ckpt,
+		Resume:      *resume,
+		Seed:        *seed,
+		Logf:        log.Printf,
+	}
+	results, rep, err := runner.Run(ctx, cfg, []runner.Task[dtaResult]{task})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			hint := ""
+			if *ckpt != "" {
+				hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", *ckpt)
+			}
+			log.Printf("interrupted%s", hint)
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+	if rep.Failed > 0 {
+		log.Printf("%s", rep.Summary())
+		for _, f := range rep.Failures {
+			log.Printf("  %v", f)
+		}
+		os.Exit(1)
+	}
+	res := results[key]
+	if rep.Resumed > 0 {
+		fmt.Printf("(replayed from checkpoint %s)\n", *ckpt)
+	}
+
+	if len(res.ShmooClocks) > 0 {
+		fmt.Println("\nshmoo: clock(ps)  TER")
+		for k, c := range res.ShmooClocks {
+			fmt.Printf("  %9.1f  %7.3f%%\n", c, 100*res.ShmooTER[k])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("cycles      %d\n", res.Cycles)
+	fmt.Printf("events      %d (%.0f per cycle)\n", res.Events, float64(res.Events)/float64(res.Cycles))
+	fmt.Printf("mean delay  %.1f ps\n", res.MeanDelay)
+	fmt.Printf("p50 / p95   %.1f / %.1f ps\n", res.P50, res.P95)
+	fmt.Printf("max delay   %.1f ps (%.1f%% of static)\n", res.MaxDelay, 100*res.MaxDelay/res.StaticDelay)
+}
+
+// characterize is the body of the single DTA cell: shmoo probe (when
+// requested) plus the main characterization, reduced to the compact
+// summary the CLI prints, so a checkpointed result replays the exact
+// printout without re-simulating.
+func characterize(ctx context.Context, u *core.FUnit, corner cells.Corner, stream *workload.Stream, shmoo int) (dtaResult, error) {
 	var clocks []float64
-	if *shmoo > 1 {
+	if shmoo > 1 {
 		// Two-pass: probe the dynamic-delay envelope on a short prefix,
 		// then sweep capture clocks across it (40 %..110 % of the
 		// observed max, where the TER curve actually moves).
@@ -141,33 +235,33 @@ func main() {
 		if probeLen > 200 {
 			probeLen = 200
 		}
-		probe, err := core.Characterize(u, corner, stream.Slice(0, probeLen), nil)
+		probe, err := core.CharacterizeContext(ctx, u, corner, stream.Slice(0, probeLen), nil)
 		if err != nil {
-			log.Fatal(err)
+			return dtaResult{}, err
 		}
-		for i := 0; i < *shmoo; i++ {
-			frac := 0.4 + 0.7*float64(i)/float64(*shmoo-1)
+		for i := 0; i < shmoo; i++ {
+			frac := 0.4 + 0.7*float64(i)/float64(shmoo-1)
 			clocks = append(clocks, probe.MaxDelay*frac)
 		}
 	}
-	tr, err = core.Characterize(u, corner, stream, clocks)
+	tr, err := core.CharacterizeContext(ctx, u, corner, stream, clocks)
 	if err != nil {
-		log.Fatal(err)
+		return dtaResult{}, err
 	}
-	if len(clocks) > 0 {
-		fmt.Println("\nshmoo: clock(ps)  TER")
-		for k, c := range clocks {
-			fmt.Printf("  %9.1f  %7.3f%%\n", c, 100*tr.TER(k))
-		}
-		fmt.Println()
+	res := dtaResult{
+		Cycles:      tr.Cycles(),
+		Events:      int64(tr.Events),
+		MeanDelay:   tr.MeanDelay(),
+		MaxDelay:    tr.MaxDelay,
+		StaticDelay: tr.StaticDelay,
 	}
-
 	delays := append([]float64(nil), tr.Delays...)
 	sort.Float64s(delays)
 	pct := func(p float64) float64 { return delays[int(p*float64(len(delays)-1))] }
-	fmt.Printf("cycles      %d\n", tr.Cycles())
-	fmt.Printf("events      %d (%.0f per cycle)\n", tr.Events, float64(tr.Events)/float64(tr.Cycles()))
-	fmt.Printf("mean delay  %.1f ps\n", tr.MeanDelay())
-	fmt.Printf("p50 / p95   %.1f / %.1f ps\n", pct(0.50), pct(0.95))
-	fmt.Printf("max delay   %.1f ps (%.1f%% of static)\n", tr.MaxDelay, 100*tr.MaxDelay/tr.StaticDelay)
+	res.P50, res.P95 = pct(0.50), pct(0.95)
+	for k, c := range clocks {
+		res.ShmooClocks = append(res.ShmooClocks, c)
+		res.ShmooTER = append(res.ShmooTER, tr.TER(k))
+	}
+	return res, nil
 }

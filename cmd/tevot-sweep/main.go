@@ -3,19 +3,34 @@
 // operating corners. By default it sweeps the paper's 9-corner plot
 // subset; -grid sweeps the full 100-corner Table I grid.
 //
-// Example:
+// The sweep runs on the fault-tolerant runner: cells execute on a
+// bounded worker pool, a panicking or failing cell is reported and
+// skipped instead of killing the run, and -checkpoint/-resume let an
+// interrupted sweep (Ctrl-C is caught and flushed) pick up where it
+// left off.
+//
+// Examples:
 //
 //	tevot-sweep -cycles 2000 -fu INT_ADD
+//	tevot-sweep -grid -workers 8 -checkpoint fig3.ckpt
+//	tevot-sweep -grid -checkpoint fig3.ckpt -resume   # after a kill
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/experiments"
+	"tevot/internal/runner"
 )
 
 func main() {
@@ -27,6 +42,14 @@ func main() {
 		full    = flag.Bool("grid", false, "sweep the full Table I grid instead of the Fig. 3 subset")
 		images  = flag.Int("images", 3, "synthetic images for application datasets")
 		imgSize = flag.Int("imgsize", 24, "synthetic image side length")
+
+		workers   = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		taskTO    = flag.Duration("task-timeout", 0, "per-cell deadline (0 = none), e.g. 5m")
+		retries   = flag.Int("retries", 1, "retries per cell for transient failures")
+		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint file (written as cells complete)")
+		resume    = flag.Bool("resume", false, "skip cells already in -checkpoint")
+		faultRate = flag.Float64("fault-rate", 0, "inject deterministic transient faults into this fraction of cells (testing)")
+		seed      = flag.Int64("seed", 1, "seed for workloads, retry jitter, and fault injection")
 	)
 	flag.Parse()
 
@@ -36,6 +59,7 @@ func main() {
 	scale.Images = *images
 	scale.ImageSize = *imgSize
 	scale.AppStreamCap = *cycles
+	scale.Seed = *seed
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {
@@ -52,8 +76,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := experiments.Fig3(lab, corners)
-	if err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := runner.Config{
+		Workers:     *workers,
+		TaskTimeout: *taskTO,
+		Retries:     *retries,
+		Seed:        *seed,
+		Checkpoint:  *ckpt,
+		Resume:      *resume,
+		Inject:      runner.NewFaultInjector(*seed, *faultRate),
+		Logf:        log.Printf,
+	}
+	start := time.Now()
+	rows, rep, err := experiments.Fig3Run(ctx, lab, corners, cfg)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
 
@@ -61,5 +101,17 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("%-8s %-14s  %-13s %9.1f %9.1f %10.1f\n",
 			r.FU, r.Corner, r.Dataset, r.MeanDelay, r.MaxDelay, r.Static)
+	}
+	fmt.Printf("\n%s in %v\n", rep.Summary(), time.Since(start).Round(time.Millisecond))
+	if interrupted {
+		hint := ""
+		if *ckpt != "" {
+			hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", *ckpt)
+		}
+		log.Printf("interrupted%s", hint)
+		os.Exit(130)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -4,25 +4,34 @@
 // instead reproduces Table II, the learning-method comparison (LR, k-NN,
 // SVM, RFC).
 //
+// All modes run on the fault-tolerant runner: a failing or panicking
+// per-FU pipeline is reported and skipped instead of killing the run,
+// and -checkpoint/-resume let an interrupted paper-scale sweep (Ctrl-C
+// is caught and flushed) pick up where it left off.
+//
 // Examples:
 //
 //	tevot-train -cycles 5000 -corners 3          # quick Table III
-//	tevot-train -paper                           # full 100-corner sweep (hours)
+//	tevot-train -paper -checkpoint t3.ckpt       # full sweep, resumable
 //	tevot-train -compare -cycles 20000           # Table II
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/experiments"
+	"tevot/internal/runner"
 )
 
 func main() {
@@ -36,6 +45,12 @@ func main() {
 		compare = flag.Bool("compare", false, "run the Table II learning-method comparison instead")
 		seed    = flag.Int64("seed", 1, "global seed")
 		saveDir = flag.String("savemodels", "", "train one TEVoT model per FU on random data and save to this directory (skips evaluation)")
+
+		workers = flag.Int("workers", 0, "concurrent per-FU pipelines (0 = GOMAXPROCS)")
+		taskTO  = flag.Duration("task-timeout", 0, "per-pipeline deadline (0 = none), e.g. 30m")
+		retries = flag.Int("retries", 1, "retries per pipeline for transient failures")
+		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (written as pipelines complete)")
+		resume  = flag.Bool("resume", false, "skip pipelines already in -checkpoint")
 	)
 	flag.Parse()
 
@@ -70,64 +85,37 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := runner.Config{
+		Workers:     *workers,
+		TaskTimeout: *taskTO,
+		Retries:     *retries,
+		Seed:        *seed,
+		Checkpoint:  *ckpt,
+		Resume:      *resume,
+		Logf:        log.Printf,
+	}
+
 	if *saveDir != "" {
-		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-		for fu, u := range lab.Units {
-			var traces []*core.Trace
-			for _, corner := range scale.Corners {
-				train, err := lab.Stream(fu, experiments.DatasetRandom, true)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if _, err := u.CalibrateBaseClock(corner, train); err != nil {
-					log.Fatal(err)
-				}
-				tr, err := core.CharacterizeWithSpeedups(u, corner, train, scale.Speedups)
-				if err != nil {
-					log.Fatal(err)
-				}
-				traces = append(traces, tr)
-			}
-			model, err := core.Train(fu, traces, core.DefaultConfig())
-			if err != nil {
-				log.Fatal(err)
-			}
-			path := filepath.Join(*saveDir, strings.ToLower(fu.String())+".tevot")
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := model.Save(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("saved %v model (top features: %v) to %s\n",
-				fu, model.TopFeatures(3), path)
-		}
+		saveModels(ctx, lab, cfg, *saveDir)
 		return
 	}
 
 	if *compare {
-		results, err := experiments.Table2(lab)
-		if err != nil {
-			log.Fatal(err)
-		}
+		results, rep, err := experiments.Table2Run(ctx, lab, cfg)
+		finish(rep, err, *ckpt)
 		fmt.Println("Table II — learning-method comparison")
 		fmt.Println("method  accuracy  train-time    test-time")
 		for _, r := range results {
 			fmt.Printf("%-6s %8.2f%% %12v %12v\n", r.Method, 100*r.Accuracy, r.TrainTime, r.TestTime)
 		}
-		return
+		exit(rep)
 	}
 
-	cells3, err := experiments.Table3(lab)
-	if err != nil {
-		log.Fatal(err)
-	}
+	cells3, rep, err := experiments.Table3Run(ctx, lab, cfg)
+	finish(rep, err, *ckpt)
 	fmt.Printf("Table III — prediction accuracy across %d corners, %d speedups\n",
 		len(scale.Corners), len(scale.Speedups))
 	fmt.Println("FU       dataset        TEVoT    Delay-based  TER-based  TEVoT-NH")
@@ -163,4 +151,104 @@ func main() {
 		100*experiments.MeanAccuracy(cells3, "Delay-based"),
 		100*experiments.MeanAccuracy(cells3, "TER-based"),
 		100*experiments.MeanAccuracy(cells3, "TEVoT-NH"))
+	exit(rep)
+}
+
+// finish handles a sweep's terminal conditions: infrastructure errors
+// are fatal, interruption prints a resume hint and exits 130, per-cell
+// failures are left for exit() after the partial results print.
+func finish(rep *runner.Report, err error, ckpt string) {
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Summary())
+	hint := ""
+	if ckpt != "" {
+		hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", ckpt)
+	}
+	log.Printf("interrupted%s", hint)
+	os.Exit(130)
+}
+
+// exit prints the sweep report and sets the exit code: 0 only when every
+// cell succeeded.
+func exit(rep *runner.Report) {
+	if rep.Failed > 0 || rep.Retried > 0 || rep.Resumed > 0 {
+		fmt.Printf("\n%s\n", rep.Summary())
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// savedModel is the checkpointable record of one trained-and-saved
+// model.
+type savedModel struct {
+	Path        string
+	TopFeatures []string
+}
+
+// saveModels trains one TEVoT model per FU on random data and saves it,
+// with each per-FU pipeline as one runner cell.
+func saveModels(ctx context.Context, lab *experiments.Lab, cfg runner.Config, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	scale := lab.Scale
+	var tasks []runner.Task[savedModel]
+	for fu, u := range lab.Units {
+		fu, u := fu, u
+		tasks = append(tasks, runner.Task[savedModel]{
+			Key: "train-save/" + fu.String(),
+			Run: func(ctx context.Context) (savedModel, error) {
+				var traces []*core.Trace
+				for _, corner := range scale.Corners {
+					train, err := lab.Stream(fu, experiments.DatasetRandom, true)
+					if err != nil {
+						return savedModel{}, err
+					}
+					if _, err := u.CalibrateBaseClockContext(ctx, corner, train); err != nil {
+						return savedModel{}, err
+					}
+					tr, err := core.CharacterizeWithSpeedupsContext(ctx, u, corner, train, scale.Speedups)
+					if err != nil {
+						return savedModel{}, err
+					}
+					traces = append(traces, tr)
+				}
+				model, err := core.Train(fu, traces, core.DefaultConfig())
+				if err != nil {
+					return savedModel{}, err
+				}
+				path := filepath.Join(dir, strings.ToLower(fu.String())+".tevot")
+				f, err := os.Create(path)
+				if err != nil {
+					return savedModel{}, err
+				}
+				if err := model.Save(f); err != nil {
+					f.Close()
+					return savedModel{}, err
+				}
+				if err := f.Close(); err != nil {
+					return savedModel{}, err
+				}
+				return savedModel{Path: path, TopFeatures: model.TopFeatures(3)}, nil
+			},
+		})
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("train-save corners=%d cycles=%d seed=%d", len(scale.Corners), scale.TrainCycles, scale.Seed)
+	}
+	results, rep, err := runner.Run(ctx, cfg, tasks)
+	finish(rep, err, cfg.Checkpoint)
+	for _, fu := range circuits.AllFUs {
+		if m, ok := results["train-save/"+fu.String()]; ok {
+			fmt.Printf("saved %v model (top features: %v) to %s\n", fu, m.TopFeatures, m.Path)
+		}
+	}
+	exit(rep)
 }

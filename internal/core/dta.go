@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
@@ -70,8 +72,53 @@ func (t *Trace) MeanDelay() float64 {
 // capture periods (ps) at which ground-truth errors are evaluated; it
 // may be empty when only delays are needed (e.g. Fig. 3).
 func Characterize(u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64) (*Trace, error) {
+	return CharacterizeContext(context.Background(), u, corner, s, clocks)
+}
+
+// validateCharacterizeInputs rejects the inputs that would otherwise
+// surface as indexing panics deep in the simulator (nil unit or stream)
+// or as silent garbage (non-positive or NaN capture clocks, NaN float
+// operands, which propagate NaN delays through every downstream model).
+func validateCharacterizeInputs(u *FUnit, s *workload.Stream, clocks []float64) error {
+	if u == nil {
+		return fmt.Errorf("core: Characterize called with a nil functional unit")
+	}
+	if u.NL == nil {
+		return fmt.Errorf("core: functional unit %v has no netlist", u.FU)
+	}
+	if s == nil {
+		return fmt.Errorf("core: Characterize called with a nil operand stream")
+	}
 	if s.Len() < 2 {
-		return nil, fmt.Errorf("core: stream %q has %d pairs; need at least 2", s.Name, s.Len())
+		return fmt.Errorf("core: stream %q has %d pairs; need at least 2", s.Name, s.Len())
+	}
+	for k, c := range clocks {
+		if math.IsNaN(c) {
+			return fmt.Errorf("core: capture clock %d is NaN", k)
+		}
+		if c <= 0 {
+			return fmt.Errorf("core: capture clock %d is %v ps; periods must be positive", k, c)
+		}
+	}
+	if u.FU.IsFloat() {
+		for i, p := range s.Pairs {
+			fa := circuits.Float32FromBits(p.A)
+			fb := circuits.Float32FromBits(p.B)
+			if fa != fa || fb != fb {
+				return fmt.Errorf("core: stream %q pair %d holds a NaN operand for float unit %v", s.Name, i, u.FU)
+			}
+		}
+	}
+	return nil
+}
+
+// CharacterizeContext is Characterize with cooperative cancellation: the
+// simulation loop checks ctx every few hundred cycles, so a sweep
+// runner's per-task deadline or a SIGINT aborts a multi-minute cell
+// promptly instead of leaking it to completion in the background.
+func CharacterizeContext(ctx context.Context, u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64) (*Trace, error) {
+	if err := validateCharacterizeInputs(u, s, clocks); err != nil {
+		return nil, err
 	}
 	static, err := u.Static(corner)
 	if err != nil {
@@ -98,6 +145,13 @@ func Characterize(u *FUnit, corner cells.Corner, s *workload.Stream, clocks []fl
 	cur := make([]bool, circuits.OperandBits)
 	circuits.EncodeOperandsInto(s.Pairs[0].A, s.Pairs[0].B, prev)
 	for i := 0; i < n; i++ {
+		if i&255 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		circuits.EncodeOperandsInto(s.Pairs[i+1].A, s.Pairs[i+1].B, cur)
 		var cy, err = r.Cycle(prev, cur)
 		if err != nil {
@@ -121,9 +175,18 @@ func Characterize(u *FUnit, corner cells.Corner, s *workload.Stream, clocks []fl
 // derived from the unit's error-free base clock at the corner:
 // period_s = base / (1 + s) for each fractional speedup s.
 func CharacterizeWithSpeedups(u *FUnit, corner cells.Corner, s *workload.Stream, speedups []float64) (*Trace, error) {
+	return CharacterizeWithSpeedupsContext(context.Background(), u, corner, s, speedups)
+}
+
+// CharacterizeWithSpeedupsContext is CharacterizeWithSpeedups with
+// cooperative cancellation (see CharacterizeContext).
+func CharacterizeWithSpeedupsContext(ctx context.Context, u *FUnit, corner cells.Corner, s *workload.Stream, speedups []float64) (*Trace, error) {
+	if u == nil {
+		return nil, fmt.Errorf("core: CharacterizeWithSpeedups called with a nil functional unit")
+	}
 	clocks, err := u.ClockPeriods(corner, speedups)
 	if err != nil {
 		return nil, err
 	}
-	return Characterize(u, corner, s, clocks)
+	return CharacterizeContext(ctx, u, corner, s, clocks)
 }

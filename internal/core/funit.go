@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -110,7 +111,13 @@ func (u *FUnit) SetBaseClock(c cells.Corner, ps float64) error {
 // the extra characterization pass that defines "fastest error-free
 // clock" in the paper's experimental setup.
 func (u *FUnit) CalibrateBaseClock(c cells.Corner, s *workload.Stream) (float64, error) {
-	tr, err := Characterize(u, c, s, nil)
+	return u.CalibrateBaseClockContext(context.Background(), c, s)
+}
+
+// CalibrateBaseClockContext is CalibrateBaseClock with cooperative
+// cancellation (see CharacterizeContext).
+func (u *FUnit) CalibrateBaseClockContext(ctx context.Context, c cells.Corner, s *workload.Stream) (float64, error) {
+	tr, err := CharacterizeContext(ctx, u, c, s, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -31,8 +31,16 @@ func (m *Model) Save(w io.Writer) error {
 	return m.forest.Save(w)
 }
 
-// LoadModel reads a model saved with Save.
-func LoadModel(r io.Reader) (*Model, error) {
+// LoadModel reads a model saved with Save. It is safe on untrusted
+// bytes: truncated or corrupted input yields an error, never a panic
+// (gob panics on some malformed inputs are recovered here) and never an
+// unbounded hang.
+func LoadModel(r io.Reader) (m *Model, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m, err = nil, fmt.Errorf("core: corrupt model data: %v", p)
+		}
+	}()
 	var hdr modelHeader
 	if err := gob.NewDecoder(r).Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("core: decoding model header: %w", err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"tevot/internal/cells"
@@ -64,5 +65,84 @@ func TestSaveUntrainedModelFails(t *testing.T) {
 	m := &Model{FU: circuits.IntAdd32}
 	if err := m.Save(&bytes.Buffer{}); err == nil {
 		t.Fatal("Save succeeded on an untrained model")
+	}
+}
+
+// trainedModelBytes returns a valid serialized model for corruption
+// tests.
+func trainedModelBytes(t *testing.T) []byte {
+	t.Helper()
+	u, err := NewFUnit(circuits.IntAdd32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Characterize(u, cells.Corner{V: 0.88, T: 50}, workload.RandomInt(401, 11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(circuits.IntAdd32, []*Trace{tr}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadModelCorruptRoundTrip: every truncation of a valid model file
+// must load cleanly or fail with an error — never panic, never hang.
+// This is the "power cut mid-download" case for distributed pre-trained
+// models.
+func TestLoadModelCorruptRoundTrip(t *testing.T) {
+	valid := trainedModelBytes(t)
+	if _, err := LoadModel(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("pristine model does not load: %v", err)
+	}
+	step := len(valid)/97 + 1
+	for n := 0; n < len(valid); n += step {
+		if _, err := LoadModel(bytes.NewReader(valid[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded without error", n, len(valid))
+		}
+	}
+}
+
+// TestLoadModelBitFlips: seeded single- and multi-byte corruptions must
+// never panic LoadModel; when a flip happens to load, the model must
+// still be safe to use (Predict cannot loop or index out of range).
+func TestLoadModelBitFlips(t *testing.T) {
+	valid := trainedModelBytes(t)
+	rng := rand.New(rand.NewSource(42))
+	corrupt := make([]byte, len(valid))
+	for trial := 0; trial < 300; trial++ {
+		copy(corrupt, valid)
+		flips := 1 + rng.Intn(4)
+		for f := 0; f < flips; f++ {
+			corrupt[rng.Intn(len(corrupt))] ^= byte(1 << rng.Intn(8))
+		}
+		m, err := LoadModel(bytes.NewReader(corrupt))
+		if err != nil || m == nil {
+			continue
+		}
+		// The corruption survived validation: the model must still be
+		// structurally usable.
+		if _, err := m.PredictDelays(cells.Corner{V: 0.9, T: 25}, workload.RandomInt(32, 5)); err != nil {
+			t.Logf("trial %d: corrupted-but-valid model errored on predict: %v", trial, err)
+		}
+	}
+}
+
+// TestLoadModelGarbagePrefix: high-entropy garbage and gob-ish garbage
+// both fail cleanly.
+func TestLoadModelGarbagePrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(4096)
+		junk := make([]byte, n)
+		rng.Read(junk)
+		if m, err := LoadModel(bytes.NewReader(junk)); err == nil && m != nil {
+			t.Fatalf("trial %d: %d random bytes decoded as a model", trial, n)
+		}
 	}
 }

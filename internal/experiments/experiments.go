@@ -5,15 +5,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/imaging"
 	"tevot/internal/inject"
+	"tevot/internal/runner"
 	"tevot/internal/workload"
 )
 
@@ -232,30 +233,18 @@ type DelayRow struct {
 // Fig3 characterizes every FU × dataset × corner combination and returns
 // the average dynamic delays the paper plots in Fig. 3. Corners defaults
 // to the paper's 9-corner plot subset when the scale has none.
+//
+// The cells run concurrently on the fault-tolerant runner (see Fig3Run
+// for per-cell failure reporting, deadlines, and checkpoint/resume);
+// this wrapper keeps the original strict contract: any failed cell
+// surfaces as an error.
 func Fig3(lab *Lab, corners []cells.Corner) ([]DelayRow, error) {
-	if len(corners) == 0 {
-		corners = core.Fig3Corners()
+	rows, rep, err := Fig3Run(context.Background(), lab, corners, runner.Config{})
+	if err != nil {
+		return nil, err
 	}
-	var rows []DelayRow
-	for _, fu := range lab.Scale.fus() {
-		u := lab.Units[fu]
-		for _, dataset := range Datasets {
-			s, err := lab.Stream(fu, dataset, false)
-			if err != nil {
-				return nil, err
-			}
-			for _, corner := range corners {
-				tr, err := core.Characterize(u, corner, s, nil)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, DelayRow{
-					FU: fu, Corner: corner, Dataset: dataset,
-					MeanDelay: tr.MeanDelay(), MaxDelay: tr.MaxDelay,
-					Static: tr.StaticDelay,
-				})
-			}
-		}
+	if err := rep.Err(); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -272,82 +261,17 @@ type Table3Cell struct {
 // Table3 trains TEVoT per FU (on random data plus a slice of application
 // data, as the paper does) and evaluates it and the three baselines on
 // held-out data across the scale's corners and speedups.
+//
+// Per-FU pipelines run concurrently on the fault-tolerant runner (see
+// Table3Run); this wrapper keeps the original strict contract: any
+// failed FU surfaces as an error.
 func Table3(lab *Lab) ([]Table3Cell, error) {
-	var cells3 []Table3Cell
-	for _, fu := range lab.Scale.fus() {
-		u := lab.Units[fu]
-
-		// Offline phase: calibrate base clocks and characterize training
-		// data at every corner.
-		var trainTraces []*core.Trace
-		for _, corner := range lab.Scale.Corners {
-			randTrain, err := lab.Stream(fu, DatasetRandom, true)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := u.CalibrateBaseClock(corner, randTrain); err != nil {
-				return nil, err
-			}
-			trRand, err := core.CharacterizeWithSpeedups(u, corner, randTrain, lab.Scale.Speedups)
-			if err != nil {
-				return nil, err
-			}
-			trainTraces = append(trainTraces, trRand)
-			for _, ds := range []string{DatasetSobel, DatasetGauss} {
-				appTrain, err := lab.Stream(fu, ds, true)
-				if err != nil {
-					return nil, err
-				}
-				trApp, err := core.CharacterizeWithSpeedups(u, corner, appTrain, lab.Scale.Speedups)
-				if err != nil {
-					return nil, err
-				}
-				trainTraces = append(trainTraces, trApp)
-			}
-		}
-
-		tevot, err := core.Train(fu, trainTraces, core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		nhCfg := core.DefaultConfig()
-		nhCfg.History = false
-		tevotNH, err := core.Train(fu, trainTraces, nhCfg)
-		if err != nil {
-			return nil, err
-		}
-		delayBased, err := core.NewDelayBased(fu, trainTraces)
-		if err != nil {
-			return nil, err
-		}
-		terBased, err := core.NewTERBased(fu, trainTraces, lab.Scale.Seed)
-		if err != nil {
-			return nil, err
-		}
-		models := []core.ErrorPredictor{tevot, delayBased, terBased, tevotNH}
-
-		// Evaluation phase: held-out data per dataset.
-		for _, dataset := range Datasets {
-			testStream, err := lab.Stream(fu, dataset, false)
-			if err != nil {
-				return nil, err
-			}
-			var testTraces []*core.Trace
-			for _, corner := range lab.Scale.Corners {
-				tr, err := core.CharacterizeWithSpeedups(u, corner, testStream, lab.Scale.Speedups)
-				if err != nil {
-					return nil, err
-				}
-				testTraces = append(testTraces, tr)
-			}
-			for _, m := range models {
-				_, acc, err := core.EvaluateAll(m, testTraces)
-				if err != nil {
-					return nil, err
-				}
-				cells3 = append(cells3, Table3Cell{FU: fu, Dataset: dataset, Model: m.Name(), Accuracy: acc})
-			}
-		}
+	cells3, rep, err := Table3Run(context.Background(), lab, runner.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
 	}
 	return cells3, nil
 }
@@ -374,46 +298,21 @@ func MeanAccuracy(cells3 []Table3Cell, model string) float64 {
 // the clearest stage for the methods' differences (the ripple adder's
 // carry-chain delay is pathologically hard for every axis-aligned or
 // linear learner; see EXPERIMENTS.md).
+// Table II is a method comparison, so the capture clock is chosen to
+// balance the two classes (an overclock deep enough that a sizeable
+// fraction of cycles err): the 60th percentile of the training
+// delays. At the paper's tail-only clocks every method ties at the
+// majority rate and the comparison is uninformative.
+//
+// The comparison runs as one cell on the fault-tolerant runner (see
+// Table2Run); this wrapper keeps the original strict contract.
 func Table2(lab *Lab) ([]core.MethodResult, error) {
-	fu := lab.Scale.fus()[0]
-	for _, f := range lab.Scale.fus() {
-		if f == circuits.FPAdd32 {
-			fu = f
-			break
-		}
-	}
-	u := lab.Units[fu]
-	corner := lab.Scale.Corners[0]
-	train, err := lab.Stream(fu, DatasetRandom, true)
+	results, rep, err := Table2Run(context.Background(), lab, runner.Config{})
 	if err != nil {
 		return nil, err
 	}
-	test, err := lab.Stream(fu, DatasetRandom, false)
-	if err != nil {
+	if err := rep.Err(); err != nil {
 		return nil, err
 	}
-	if _, err := u.CalibrateBaseClock(corner, train); err != nil {
-		return nil, err
-	}
-	// Table II is a method comparison, so the capture clock is chosen to
-	// balance the two classes (an overclock deep enough that a sizeable
-	// fraction of cycles err): the 60th percentile of the training
-	// delays. At the paper's tail-only clocks every method ties at the
-	// majority rate and the comparison is uninformative.
-	probe, err := core.Characterize(u, corner, train, nil)
-	if err != nil {
-		return nil, err
-	}
-	sorted := append([]float64(nil), probe.Delays...)
-	sort.Float64s(sorted)
-	clock := sorted[len(sorted)*60/100]
-	trTrain, err := core.Characterize(u, corner, train, []float64{clock})
-	if err != nil {
-		return nil, err
-	}
-	trTest, err := core.Characterize(u, corner, test, []float64{clock})
-	if err != nil {
-		return nil, err
-	}
-	return core.CompareMethods([]*core.Trace{trTrain}, []*core.Trace{trTest}, 0, lab.Scale.Seed)
+	return results, nil
 }

@@ -1,0 +1,78 @@
+package liberty
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tevot/internal/cells"
+)
+
+// validLiberty renders a real scaled cell library for fuzz seeding.
+func validLiberty(t testing.TB) []byte {
+	lib, err := FromScaling("tevot45", cells.DefaultScaling(), cells.Corner{V: 0.9, T: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParse: Parse must never panic on arbitrary bytes, and accepted
+// inputs must parse deterministically.
+func FuzzParse(f *testing.F) {
+	f.Add(validLiberty(f))
+	f.Add([]byte("library (x) {\n}\n"))
+	f.Add([]byte("library (x) {\n cell (AND2) {\n }\n}\n"))
+	f.Add([]byte("cell (orphan) { intrinsic_rise : 1.0; }"))
+	f.Add([]byte("library (x) { nom_voltage : nan; }"))
+	f.Add([]byte("intrinsic_rise"))
+	f.Add([]byte("library ("))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, errA := Parse(bytes.NewReader(data))
+		b, errB := Parse(bytes.NewReader(data))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("nondeterministic parse outcome: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if a == nil || len(a.Cells) == 0 {
+			t.Fatal("successful parse returned empty library")
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("nondeterministic parse result")
+		}
+	})
+}
+
+// TestParseSurvivesMutations: deterministic randomized mutation sweep in
+// the style of internal/sim/fuzz_test.go — runs under plain `go test`.
+func TestParseSurvivesMutations(t *testing.T) {
+	valid := validLiberty(t)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 400; trial++ {
+		mut := append([]byte(nil), valid...)
+		switch trial % 4 {
+		case 0:
+			mut = mut[:rng.Intn(len(mut)+1)]
+		case 1:
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+			}
+		case 2:
+			lo := rng.Intn(len(mut))
+			hi := lo + rng.Intn(len(mut)-lo)
+			mut = append(mut[:lo], mut[hi:]...)
+		case 3:
+			lo := rng.Intn(len(mut))
+			hi := lo + rng.Intn(len(mut)-lo)
+			mut = append(mut[:hi], append(append([]byte(nil), mut[lo:hi]...), mut[hi:]...)...)
+		}
+		_, _ = Parse(bytes.NewReader(mut)) // must not panic
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -123,7 +124,16 @@ func Parse(r io.Reader) (*Library, error) {
 			return 0, fmt.Errorf("liberty: malformed attribute %q", line)
 		}
 		v = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(v), ";"))
-		return strconv.ParseFloat(v, 64)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, err
+		}
+		// Non-finite attribute values would silently poison downstream
+		// timing math (found by fuzzing).
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("liberty: non-finite attribute value %q", line)
+		}
+		return f, nil
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

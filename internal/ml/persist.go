@@ -42,12 +42,22 @@ func (t *DecisionTree) toDTO() treeDTO {
 }
 
 func treeFromDTO(dto treeDTO) (*DecisionTree, error) {
+	if len(dto.Nodes) == 0 {
+		return nil, fmt.Errorf("ml: corrupt tree: no nodes")
+	}
 	t := &DecisionTree{cfg: dto.Cfg, classes: dto.Classes, nodes: make([]node, len(dto.Nodes)), importance: dto.Importance}
 	for i, n := range dto.Nodes {
 		if n.Feature >= 0 {
+			// The builder appends children after their parent, so any
+			// valid tree has strictly increasing child indices. Enforcing
+			// that on load guarantees the tree is acyclic — a crafted or
+			// corrupted DTO cannot make Predict loop forever.
 			if int(n.Left) >= len(dto.Nodes) || int(n.Right) >= len(dto.Nodes) ||
-				n.Left < 0 || n.Right < 0 {
+				n.Left <= int32(i) || n.Right <= int32(i) {
 				return nil, fmt.Errorf("ml: corrupt tree: node %d children out of range", i)
+			}
+			if int(n.Feature) >= len(dto.Importance) && len(dto.Importance) > 0 {
+				return nil, fmt.Errorf("ml: corrupt tree: node %d feature %d outside importance vector", i, n.Feature)
 			}
 		}
 		t.nodes[i] = node{n.Feature, n.Threshold, n.Left, n.Right, n.Value}
@@ -67,8 +77,16 @@ func (f *RandomForest) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(dto)
 }
 
-// LoadForest deserializes a forest saved with Save.
-func LoadForest(r io.Reader) (*RandomForest, error) {
+// LoadForest deserializes a forest saved with Save. Corrupted input
+// yields an error, never a panic: gob's panics on malformed streams are
+// recovered, and the decoded trees are structurally validated so a
+// damaged forest cannot send Predict out of range or into a cycle.
+func LoadForest(r io.Reader) (f *RandomForest, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			f, err = nil, fmt.Errorf("ml: corrupt forest data: %v", p)
+		}
+	}()
 	var dto forestDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("ml: decoding forest: %w", err)
@@ -79,7 +97,7 @@ func LoadForest(r io.Reader) (*RandomForest, error) {
 	if len(dto.Trees) == 0 {
 		return nil, fmt.Errorf("ml: saved forest has no trees")
 	}
-	f := &RandomForest{cfg: dto.Cfg, trees: make([]*DecisionTree, len(dto.Trees))}
+	f = &RandomForest{cfg: dto.Cfg, trees: make([]*DecisionTree, len(dto.Trees))}
 	for i, td := range dto.Trees {
 		t, err := treeFromDTO(td)
 		if err != nil {

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Checkpoint file format: one JSON document per line.
+//
+//	{"format":"tevot-checkpoint","version":1,"sweep":"<name>"}
+//	{"key":"fig3/INT_ADD/random_data/v0.810/t0","attempts":1,"value":{...}}
+//	...
+//
+// The header pins the sweep identity (name + scale fingerprint) so a
+// checkpoint cannot be resumed against a differently sized sweep. One
+// entry is appended and fsynced per completed cell, so a killed process
+// loses at most the in-flight cells; a partial final line (the write the
+// kill interrupted) is tolerated and ignored on load. Only successes are
+// recorded — failed cells are re-attempted on resume (at-least-once
+// delivery per cell).
+
+const (
+	checkpointFormat  = "tevot-checkpoint"
+	checkpointVersion = 1
+)
+
+type checkpointHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Sweep   string `json:"sweep"`
+}
+
+type checkpointEntry struct {
+	Key      string          `json:"key"`
+	Attempts int             `json:"attempts"`
+	Value    json.RawMessage `json:"value"`
+}
+
+// loadCheckpoint reads entries from path. A missing file is an empty
+// checkpoint, not an error. A final unparsable line is discarded (the
+// previous run died mid-write); an unparsable line anywhere else is
+// corruption and fails the load.
+func loadCheckpoint(path, sweep string) (map[string]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]json.RawMessage{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	done := make(map[string]json.RawMessage)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	lineNo := 0
+	var pendingErr error // a bad line is fatal only if another line follows
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lineNo++
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		if lineNo == 1 {
+			var hdr checkpointHeader
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return nil, fmt.Errorf("runner: %s is not a checkpoint file: %w", path, err)
+			}
+			if hdr.Format != checkpointFormat || hdr.Version != checkpointVersion {
+				return nil, fmt.Errorf("runner: %s: unsupported checkpoint format %q version %d", path, hdr.Format, hdr.Version)
+			}
+			if hdr.Sweep != sweep {
+				return nil, fmt.Errorf("runner: checkpoint %s belongs to sweep %q, not %q — refusing to mix results", path, hdr.Sweep, sweep)
+			}
+			continue
+		}
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			pendingErr = fmt.Errorf("runner: checkpoint %s line %d is corrupt", path, lineNo)
+			continue
+		}
+		done[e.Key] = e.Value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// pendingErr still set here means the corrupt line was the last one:
+	// an interrupted append. Drop it and resume from the prior entries.
+	return done, nil
+}
+
+// checkpointWriter appends completed cells to the checkpoint file. It is
+// only ever used from the collector goroutine, so it needs no locking.
+type checkpointWriter struct {
+	f *os.File
+}
+
+// openCheckpoint opens path for appending (resume) or truncates it and
+// writes a fresh header (new sweep).
+func openCheckpoint(path, sweep string, resume bool) (*checkpointWriter, error) {
+	if resume {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if st.Size() > 0 {
+			return &checkpointWriter{f: f}, nil
+		}
+		// Resuming onto an empty/new file: fall through to write a header.
+		if err := writeHeader(f, sweep); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &checkpointWriter{f: f}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeHeader(f, sweep); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+func writeHeader(f *os.File, sweep string) error {
+	b, err := json.Marshal(checkpointHeader{Format: checkpointFormat, Version: checkpointVersion, Sweep: sweep})
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(append(b, '\n'))
+	return err
+}
+
+// record appends one completed cell and fsyncs, so the entry survives a
+// process kill. Cells cost seconds to hours each; one fsync per cell is
+// noise next to that.
+func (w *checkpointWriter) record(key string, attempts int, value json.RawMessage) error {
+	b, err := json.Marshal(checkpointEntry{Key: key, Attempts: attempts, Value: value})
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *checkpointWriter) close() error { return w.f.Close() }

@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// FaultFn is the runner's fault-injection hook. It is consulted before
+// each attempt of each task; a non-nil return aborts that attempt with
+// the returned error instead of running the task. Injection decisions
+// must depend only on (key, attempt) so that runs are deterministic
+// regardless of worker scheduling.
+type FaultFn func(key string, attempt int) error
+
+// NewFaultInjector returns a deterministic FaultFn: a `rate` fraction of
+// cell keys (selected by seeded hash, independent of submission or
+// scheduling order) fail their first 1–2 attempts with a TransientError,
+// then succeed. With Retries >= 2 a sweep under injection must therefore
+// complete with zero lost cells — the property CI asserts.
+func NewFaultInjector(seed int64, rate float64) FaultFn {
+	if rate <= 0 {
+		return nil
+	}
+	return func(key string, attempt int) error {
+		h := keyHash(seed, key)
+		// Map the hash to [0,1) and pick the faulty fraction.
+		if float64(h%1e9)/1e9 >= rate {
+			return nil
+		}
+		// Faulty cells fail their first failCount attempts.
+		failCount := 1 + int(h>>32)%2
+		if attempt < failCount {
+			return MarkTransient(fmt.Errorf("injected fault on %s (attempt %d of %d)", key, attempt+1, failCount))
+		}
+		return nil
+	}
+}
+
+// keyHash folds the seed and key through FNV-1a, giving a stable 64-bit
+// value used for both injection decisions and backoff jitter.
+func keyHash(seed int64, key string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,113 @@
+package sdf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+	"tevot/internal/sta"
+)
+
+// validSDF renders a real annotated netlist to SDF text, giving the
+// fuzzers a structurally rich seed.
+func validSDF(t testing.TB) []byte {
+	nl, err := netlist.Random(netlist.RandomOptions{Inputs: 4, Gates: 12, Outputs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := cells.Corner{V: 0.9, T: 25}
+	delays, err := sta.GateDelays(nl, corner, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromAnnotation(nl, corner, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParse: Parse must return (File, nil) or (nil, error) on arbitrary
+// bytes — never panic. Accepted inputs must parse deterministically.
+func FuzzParse(f *testing.F) {
+	f.Add(validSDF(f))
+	f.Add([]byte("(DELAYFILE)"))
+	f.Add([]byte("(DELAYFILE (DESIGN \"x\") (VOLTAGE 0.9) (TEMPERATURE 25))"))
+	f.Add([]byte("(DELAYFILE (CELL (INSTANCE g0) (DELAY (ABSOLUTE (IOPATH a y (1:2:3))))))"))
+	f.Add([]byte("(DELAYFILE (CELL (INSTANCE g0) (DELAY (ABSOLUTE (IOPATH a y (1:2))))))"))
+	f.Add([]byte("((((("))
+	f.Add([]byte(")"))
+	f.Add([]byte("(DELAYFILE (VOLTAGE nan))"))
+	f.Add([]byte("(DELAYFILE (CELL))"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, errA := Parse(bytes.NewReader(data))
+		b, errB := Parse(bytes.NewReader(data))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("nondeterministic parse outcome: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if a == nil || a.Delays == nil {
+			t.Fatal("successful parse returned nil document")
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("nondeterministic parse result")
+		}
+	})
+}
+
+// TestParseSurvivesMutations mirrors internal/sim/fuzz_test.go's style:
+// a deterministic, CI-sized randomized sweep (no fuzz engine needed)
+// that mutates valid documents and asserts Parse never panics.
+func TestParseSurvivesMutations(t *testing.T) {
+	valid := validSDF(t)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 400; trial++ {
+		mut := append([]byte(nil), valid...)
+		switch trial % 4 {
+		case 0: // truncate
+			mut = mut[:rng.Intn(len(mut)+1)]
+		case 1: // flip bytes
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+			}
+		case 2: // delete a span
+			lo := rng.Intn(len(mut))
+			hi := lo + rng.Intn(len(mut)-lo)
+			mut = append(mut[:lo], mut[hi:]...)
+		case 3: // duplicate a span
+			lo := rng.Intn(len(mut))
+			hi := lo + rng.Intn(len(mut)-lo)
+			mut = append(mut[:hi], append(append([]byte(nil), mut[lo:hi]...), mut[hi:]...)...)
+		}
+		if _, err := Parse(bytes.NewReader(mut)); err != nil {
+			continue // rejected cleanly: fine
+		}
+	}
+}
+
+// TestParseRoundTripAfterFuzzSeeds: the valid seed still round-trips,
+// proving the fuzz hardening did not over-tighten the grammar.
+func TestParseRoundTripAfterFuzzSeeds(t *testing.T) {
+	f, err := Parse(bytes.NewReader(validSDF(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Delays) != 12 {
+		t.Fatalf("round trip lost cells: %d delays", len(f.Delays))
+	}
+	for name, d := range f.Delays {
+		if d < 0 || strings.TrimSpace(name) == "" {
+			t.Fatalf("round trip produced bad entry %q=%v", name, d)
+		}
+	}
+}

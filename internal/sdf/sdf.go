@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -179,14 +180,14 @@ func (p *parser) section(f *File) error {
 		f.Design = strings.Trim(p.next(), `"`)
 		return p.expect(")")
 	case "VOLTAGE":
-		v, err := strconv.ParseFloat(p.next(), 64)
+		v, err := parseFinite(p.next())
 		if err != nil {
 			return fmt.Errorf("sdf: bad VOLTAGE: %w", err)
 		}
 		f.Voltage = v
 		return p.expect(")")
 	case "TEMPERATURE":
-		v, err := strconv.ParseFloat(p.next(), 64)
+		v, err := parseFinite(p.next())
 		if err != nil {
 			return fmt.Errorf("sdf: bad TEMPERATURE: %w", err)
 		}
@@ -269,7 +270,7 @@ func (p *parser) delaySection() (float64, bool, error) {
 				if len(parts) != 3 {
 					return 0, false, fmt.Errorf("sdf: malformed delay triple %q", t)
 				}
-				v, err := strconv.ParseFloat(parts[1], 64)
+				v, err := parseFinite(parts[1])
 				if err != nil {
 					return 0, false, fmt.Errorf("sdf: malformed delay triple %q: %w", t, err)
 				}
@@ -282,6 +283,20 @@ func (p *parser) delaySection() (float64, bool, error) {
 
 // tokenize splits SDF text into parens and atoms. Quoted strings stay a
 // single token (with quotes).
+// parseFinite parses a float but rejects NaN and ±Inf: a non-finite
+// voltage, temperature, or delay would silently poison every downstream
+// computation (found by fuzzing).
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
+
 func tokenize(r io.Reader) ([]string, error) {
 	br := bufio.NewReader(r)
 	var toks []string

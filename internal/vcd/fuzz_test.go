@@ -1,0 +1,113 @@
+package vcd
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+	"tevot/internal/sim"
+	"tevot/internal/sta"
+)
+
+// validVCD renders a short real simulation to VCD text for fuzz seeding.
+func validVCD(t testing.TB) []byte {
+	nl, err := netlist.Random(netlist.RandomOptions{Inputs: 4, Gates: 10, Outputs: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := cells.Corner{V: 0.9, T: 25}
+	static, err := sta.Analyze(nl, corner, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, nl, static.Delay*1.5)
+	if err := w.WriteHeader("tevot", "fuzz-seed"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(nl, static.GateDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetObserver(w.Observe)
+	rng := rand.New(rand.NewSource(3))
+	vec := func() []bool {
+		v := make([]bool, len(nl.PrimaryInputs))
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		return v
+	}
+	prev := vec()
+	for k := 0; k < 8; k++ {
+		w.BeginCycle(k)
+		cur := vec()
+		if _, err := r.Cycle(prev, cur); err != nil {
+			t.Fatal(err)
+		}
+		prev = nil
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParse: Parse must never panic on arbitrary bytes, and accepted
+// inputs must parse deterministically.
+func FuzzParse(f *testing.F) {
+	f.Add(validVCD(f))
+	f.Add([]byte("$timescale 1fs $end\n$var wire 1 ! y0 $end\n$enddefinitions $end\n#0\n1!\n"))
+	f.Add([]byte("$var wire 1 ! y0 $end\n1!\n"))      // change before enddefinitions
+	f.Add([]byte("#5\n#3\n"))                         // time goes backwards
+	f.Add([]byte("$var wire 2 ! bus $end\n"))         // multi-bit
+	f.Add([]byte("#99999999999999999999999999999\n")) // overflow timestamp
+	f.Add([]byte("x!\nz!\n"))
+	f.Add([]byte("1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, errA := Parse(bytes.NewReader(data))
+		b, errB := Parse(bytes.NewReader(data))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("nondeterministic parse outcome: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if a == nil || a.Signals == nil {
+			t.Fatal("successful parse returned nil document")
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("nondeterministic parse result")
+		}
+	})
+}
+
+// TestParseSurvivesMutations: deterministic randomized mutation sweep in
+// the style of internal/sim/fuzz_test.go — runs under plain `go test`.
+func TestParseSurvivesMutations(t *testing.T) {
+	valid := validVCD(t)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 400; trial++ {
+		mut := append([]byte(nil), valid...)
+		switch trial % 4 {
+		case 0:
+			mut = mut[:rng.Intn(len(mut)+1)]
+		case 1:
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+			}
+		case 2:
+			lo := rng.Intn(len(mut))
+			hi := lo + rng.Intn(len(mut)-lo)
+			mut = append(mut[:lo], mut[hi:]...)
+		case 3:
+			lo := rng.Intn(len(mut))
+			hi := lo + rng.Intn(len(mut)-lo)
+			mut = append(mut[:hi], append(append([]byte(nil), mut[lo:hi]...), mut[hi:]...)...)
+		}
+		_, _ = Parse(bytes.NewReader(mut)) // must not panic
+	}
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full hygiene gate: build, vet, and the whole test suite under the race
+# detector. The runner/experiments packages are deliberately concurrent;
+# any data race is a failing check, not a flake.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
