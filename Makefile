@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz
+.PHONY: build test check bench bench-json fuzz
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# DTA performance baseline: run the hot-path benchmarks and serialize
+# them to BENCH_dta.json; compare two baselines with scripts/benchdiff.sh.
+bench-json:
+	sh scripts/benchjson.sh BENCH_dta.json
 
 # Short active fuzzing pass over every parser fuzz target.
 fuzz:

@@ -30,6 +30,7 @@ import (
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/liberty"
+	"tevot/internal/prof"
 	"tevot/internal/runner"
 	"tevot/internal/sdf"
 	"tevot/internal/sim"
@@ -65,12 +66,26 @@ func main() {
 		shmoo   = flag.Int("shmoo", 0, "print a TER-vs-clock shmoo with this many points")
 
 		workers = flag.Int("workers", 0, "runner worker count (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "simulation shards for the characterization (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 		taskTO  = flag.Duration("task-timeout", 0, "characterization deadline (0 = none), e.g. 5m")
 		retries = flag.Int("retries", 1, "retries for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (replays a completed analysis)")
 		resume  = flag.Bool("resume", false, "skip the characterization if already in -checkpoint")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flushProf := func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}
+	defer flushProf()
 
 	fu, err := circuits.ParseFU(*fuName)
 	if err != nil {
@@ -165,11 +180,12 @@ func main() {
 	defer stop()
 
 	shmooN := *shmoo
+	opts := core.CharacterizeOptions{Workers: *shards}
 	key := fmt.Sprintf("dta/%s/v%.4f_t%g", fu, corner.V, corner.T)
 	task := runner.Task[dtaResult]{
 		Key: key,
 		Run: func(ctx context.Context) (dtaResult, error) {
-			return characterize(ctx, u, corner, stream, shmooN)
+			return characterize(ctx, u, corner, stream, shmooN, opts)
 		},
 	}
 	cfg := runner.Config{
@@ -191,6 +207,7 @@ func main() {
 				hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", *ckpt)
 			}
 			log.Printf("interrupted%s", hint)
+			flushProf()
 			os.Exit(130)
 		}
 		log.Fatal(err)
@@ -200,6 +217,7 @@ func main() {
 		for _, f := range rep.Failures {
 			log.Printf("  %v", f)
 		}
+		flushProf()
 		os.Exit(1)
 	}
 	res := results[key]
@@ -225,7 +243,7 @@ func main() {
 // requested) plus the main characterization, reduced to the compact
 // summary the CLI prints, so a checkpointed result replays the exact
 // printout without re-simulating.
-func characterize(ctx context.Context, u *core.FUnit, corner cells.Corner, stream *workload.Stream, shmoo int) (dtaResult, error) {
+func characterize(ctx context.Context, u *core.FUnit, corner cells.Corner, stream *workload.Stream, shmoo int, opts core.CharacterizeOptions) (dtaResult, error) {
 	var clocks []float64
 	if shmoo > 1 {
 		// Two-pass: probe the dynamic-delay envelope on a short prefix,
@@ -235,7 +253,7 @@ func characterize(ctx context.Context, u *core.FUnit, corner cells.Corner, strea
 		if probeLen > 200 {
 			probeLen = 200
 		}
-		probe, err := core.CharacterizeContext(ctx, u, corner, stream.Slice(0, probeLen), nil)
+		probe, err := core.CharacterizeOptsContext(ctx, u, corner, stream.Slice(0, probeLen), nil, opts)
 		if err != nil {
 			return dtaResult{}, err
 		}
@@ -244,7 +262,7 @@ func characterize(ctx context.Context, u *core.FUnit, corner cells.Corner, strea
 			clocks = append(clocks, probe.MaxDelay*frac)
 		}
 	}
-	tr, err := core.CharacterizeContext(ctx, u, corner, stream, clocks)
+	tr, err := core.CharacterizeOptsContext(ctx, u, corner, stream, clocks, opts)
 	if err != nil {
 		return dtaResult{}, err
 	}

@@ -19,6 +19,7 @@ import (
 
 	"tevot/internal/circuits"
 	"tevot/internal/netlist"
+	"tevot/internal/prof"
 	"tevot/internal/verilog"
 )
 
@@ -31,8 +32,20 @@ func main() {
 		vPath    = flag.String("verilog", "", "write structural Verilog to this file")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT rendering to this file")
 		simplify = flag.Bool("simplify", false, "run the simplification pass and report the result")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	fu, err := circuits.ParseFU(*fuName)
 	if err != nil {

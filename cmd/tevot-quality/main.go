@@ -25,6 +25,7 @@ import (
 	"tevot/internal/cells"
 	"tevot/internal/experiments"
 	"tevot/internal/imaging"
+	"tevot/internal/prof"
 )
 
 func main() {
@@ -37,8 +38,21 @@ func main() {
 		nCorner = flag.Int("corners", 2, "operating corners")
 		outDir  = flag.String("outdir", "", "write Fig. 4 PNG outputs to this directory")
 		seed    = flag.Int64("seed", 1, "global seed")
+		shards  = flag.Int("shards", 0, "simulation shards per characterization (0 = auto)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	scale := experiments.Small()
 	scale.Images = *images
@@ -47,6 +61,7 @@ func main() {
 	scale.TestCycles = *cycles / 2
 	scale.AppStreamCap = *cycles
 	scale.Seed = *seed
+	scale.ShardWorkers = *shards
 	scale.Corners = scale.Corners[:0]
 	for i := 0; i < *nCorner; i++ {
 		v := 0.81 + 0.19*float64(i)/math.Max(1, float64(*nCorner-1))

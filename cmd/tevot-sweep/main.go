@@ -30,6 +30,7 @@ import (
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/experiments"
+	"tevot/internal/prof"
 	"tevot/internal/runner"
 )
 
@@ -44,6 +45,9 @@ func main() {
 		imgSize = flag.Int("imgsize", 24, "synthetic image side length")
 
 		workers   = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "simulation shards per cell (0 = auto: GOMAXPROCS/workers)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 		taskTO    = flag.Duration("task-timeout", 0, "per-cell deadline (0 = none), e.g. 5m")
 		retries   = flag.Int("retries", 1, "retries per cell for transient failures")
 		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint file (written as cells complete)")
@@ -53,6 +57,17 @@ func main() {
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flushProf := func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}
+	defer flushProf()
+
 	scale := experiments.Small()
 	scale.TestCycles = *cycles
 	scale.TrainCycles = *cycles
@@ -60,6 +75,7 @@ func main() {
 	scale.ImageSize = *imgSize
 	scale.AppStreamCap = *cycles
 	scale.Seed = *seed
+	scale.ShardWorkers = *shards
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {
@@ -109,9 +125,11 @@ func main() {
 			hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", *ckpt)
 		}
 		log.Printf("interrupted%s", hint)
+		flushProf()
 		os.Exit(130)
 	}
 	if rep.Failed > 0 {
+		flushProf()
 		os.Exit(1)
 	}
 }

@@ -31,8 +31,13 @@ import (
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/experiments"
+	"tevot/internal/prof"
 	"tevot/internal/runner"
 )
+
+// flushProf ends profiling before the explicit os.Exit paths; set in
+// main once the profilers start.
+var flushProf = func() {}
 
 func main() {
 	log.SetFlags(0)
@@ -47,12 +52,26 @@ func main() {
 		saveDir = flag.String("savemodels", "", "train one TEVoT model per FU on random data and save to this directory (skips evaluation)")
 
 		workers = flag.Int("workers", 0, "concurrent per-FU pipelines (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "simulation shards per characterization (0 = auto: GOMAXPROCS/workers)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 		taskTO  = flag.Duration("task-timeout", 0, "per-pipeline deadline (0 = none), e.g. 30m")
 		retries = flag.Int("retries", 1, "retries per pipeline for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (written as pipelines complete)")
 		resume  = flag.Bool("resume", false, "skip pipelines already in -checkpoint")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flushProf = func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}
+	defer flushProf()
 
 	var scale experiments.Scale
 	if *paper {
@@ -72,6 +91,7 @@ func main() {
 		}
 	}
 	scale.Seed = *seed
+	scale.ShardWorkers = *shards
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {
@@ -170,6 +190,7 @@ func finish(rep *runner.Report, err error, ckpt string) {
 		hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", ckpt)
 	}
 	log.Printf("interrupted%s", hint)
+	flushProf()
 	os.Exit(130)
 }
 
@@ -180,8 +201,10 @@ func exit(rep *runner.Report) {
 		fmt.Printf("\n%s\n", rep.Summary())
 	}
 	if rep.Failed > 0 {
+		flushProf()
 		os.Exit(1)
 	}
+	flushProf()
 	os.Exit(0)
 }
 
@@ -199,6 +222,7 @@ func saveModels(ctx context.Context, lab *experiments.Lab, cfg runner.Config, di
 		log.Fatal(err)
 	}
 	scale := lab.Scale
+	opts := lab.CharOpts(cfg.Workers)
 	var tasks []runner.Task[savedModel]
 	for fu, u := range lab.Units {
 		fu, u := fu, u
@@ -211,10 +235,10 @@ func saveModels(ctx context.Context, lab *experiments.Lab, cfg runner.Config, di
 					if err != nil {
 						return savedModel{}, err
 					}
-					if _, err := u.CalibrateBaseClockContext(ctx, corner, train); err != nil {
+					if _, err := u.CalibrateBaseClockOptsContext(ctx, corner, train, opts); err != nil {
 						return savedModel{}, err
 					}
-					tr, err := core.CharacterizeWithSpeedupsContext(ctx, u, corner, train, scale.Speedups)
+					tr, err := core.CharacterizeWithSpeedupsOptsContext(ctx, u, corner, train, scale.Speedups, opts)
 					if err != nil {
 						return savedModel{}, err
 					}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/workload"
+)
+
+// BenchmarkCharacterizeParallel measures the sharded DTA hot path:
+// cycles simulated per second at Workers:1 (the sequential baseline)
+// and at the machine's parallel width. The cycles/s metric is what
+// scripts/benchdiff.sh tracks across commits.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	u, err := NewFUnit(circuits.IntAdd32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corner := cells.Corner{V: 0.85, T: 50}
+	stream := workload.Random(false, 4096, 11)
+	clocks := []float64{600}
+	// Warm the STA cache so the benchmark sees only simulation cost.
+	if _, err := u.Static(corner); err != nil {
+		b.Fatal(err)
+	}
+	workers := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workers = append(workers, p)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cycles := stream.Len() - 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, err := CharacterizeOpts(u, corner, stream, clocks, CharacterizeOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tr.Cycles() != cycles {
+					b.Fatalf("trace has %d cycles; want %d", tr.Cycles(), cycles)
+				}
+			}
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
+	"tevot/internal/sim"
 	"tevot/internal/workload"
 )
 
@@ -67,12 +70,54 @@ func (t *Trace) MeanDelay() float64 {
 	return s / float64(len(t.Delays))
 }
 
+// CharacterizeOptions tunes how the DTA simulation executes. The zero
+// value is the default strategy (parallel over GOMAXPROCS shards).
+type CharacterizeOptions struct {
+	// Workers is the number of parallel stream shards, each simulated by
+	// its own sim.Runner. <= 0 means GOMAXPROCS; 1 forces the sequential
+	// path. Results are bit-identical regardless of the value: a shard
+	// starting at cycle i settles the circuit at stream pair i, which is
+	// exactly the state the streaming simulation would have left behind
+	// (the settled state of an acyclic circuit is its zero-delay
+	// evaluation, independent of event history).
+	//
+	// When characterizations already run on a cell-level worker pool
+	// (internal/runner), pick Workers ≈ GOMAXPROCS / pool-workers so the
+	// two levels compose without oversubscription.
+	Workers int
+}
+
+// shardCount resolves the effective shard count for an n-cycle stream:
+// the configured worker budget, capped so each shard keeps at least
+// minShardCycles cycles (below that the per-shard settle + runner setup
+// dominates any win).
+const minShardCycles = 64
+
+func (o CharacterizeOptions) shardCount(n int) int {
+	k := o.Workers
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if maxK := n / minShardCycles; k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // Characterize runs back-annotated gate-level simulation of the unit at
 // a corner over the stream — the paper's DTA phase. clocks lists the
 // capture periods (ps) at which ground-truth errors are evaluated; it
 // may be empty when only delays are needed (e.g. Fig. 3).
 func Characterize(u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64) (*Trace, error) {
 	return CharacterizeContext(context.Background(), u, corner, s, clocks)
+}
+
+// CharacterizeOpts is Characterize with explicit execution options.
+func CharacterizeOpts(u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64, opts CharacterizeOptions) (*Trace, error) {
+	return CharacterizeOptsContext(context.Background(), u, corner, s, clocks, opts)
 }
 
 // validateCharacterizeInputs rejects the inputs that would otherwise
@@ -117,14 +162,24 @@ func validateCharacterizeInputs(u *FUnit, s *workload.Stream, clocks []float64) 
 // runner's per-task deadline or a SIGINT aborts a multi-minute cell
 // promptly instead of leaking it to completion in the background.
 func CharacterizeContext(ctx context.Context, u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64) (*Trace, error) {
+	return CharacterizeOptsContext(ctx, u, corner, s, clocks, CharacterizeOptions{})
+}
+
+// CharacterizeOptsContext is the full-control characterization entry
+// point: cooperative cancellation plus sharded parallel simulation.
+//
+// Sharding argument: cycle i's dynamic delay depends only on the settled
+// state at pair i and the transition to pair i+1. Because the netlist is
+// acyclic, the settled state after any cycle equals the zero-delay
+// evaluation of that cycle's input vector — it carries no event history.
+// Splitting the stream into contiguous chunks and settling each worker's
+// runner at its chunk's boundary pair therefore reproduces the exact
+// per-cycle results of the sequential streaming run, in any shard count.
+func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner, s *workload.Stream, clocks []float64, opts CharacterizeOptions) (*Trace, error) {
 	if err := validateCharacterizeInputs(u, s, clocks); err != nil {
 		return nil, err
 	}
 	static, err := u.Static(corner)
-	if err != nil {
-		return nil, err
-	}
-	r, err := u.NewRunner(corner)
 	if err != nil {
 		return nil, err
 	}
@@ -141,26 +196,73 @@ func CharacterizeContext(ctx context.Context, u *FUnit, corner cells.Corner, s *
 	for k := range tr.Errors {
 		tr.Errors[k] = make([]bool, n)
 	}
+
+	shards := opts.shardCount(n)
+	// Create every runner up front (and sequentially fail fast): they all
+	// share the one cached/singleflighted STA result.
+	runners := make([]*sim.Runner, shards)
+	for w := range runners {
+		if runners[w], err = u.NewRunner(corner); err != nil {
+			return nil, err
+		}
+	}
+
+	events := make([]int, shards)
+	maxes := make([]float64, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo, hi := w*n/shards, (w+1)*n/shards
+		if shards == 1 {
+			// Sequential path: run inline, no goroutine.
+			errs[0] = characterizeShard(ctx, runners[0], s, clocks, tr, lo, hi, &events[0], &maxes[0])
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = characterizeShard(ctx, runners[w], s, clocks, tr, lo, hi, &events[w], &maxes[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < shards; w++ {
+		tr.Events += events[w]
+		if maxes[w] > tr.MaxDelay {
+			tr.MaxDelay = maxes[w]
+		}
+	}
+	return tr, nil
+}
+
+// characterizeShard simulates cycles [lo, hi) of the stream on its own
+// runner, settling the circuit at pair lo first, and writes the
+// per-cycle results into the shard's disjoint region of tr.
+func characterizeShard(ctx context.Context, r *sim.Runner, s *workload.Stream, clocks []float64, tr *Trace, lo, hi int, events *int, maxDelay *float64) error {
 	prev := make([]bool, circuits.OperandBits)
 	cur := make([]bool, circuits.OperandBits)
-	circuits.EncodeOperandsInto(s.Pairs[0].A, s.Pairs[0].B, prev)
-	for i := 0; i < n; i++ {
-		if i&255 == 0 {
+	circuits.EncodeOperandsInto(s.Pairs[lo].A, s.Pairs[lo].B, prev)
+	for i := lo; i < hi; i++ {
+		if (i-lo)&255 == 0 {
 			select {
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return ctx.Err()
 			default:
 			}
 		}
 		circuits.EncodeOperandsInto(s.Pairs[i+1].A, s.Pairs[i+1].B, cur)
-		var cy, err = r.Cycle(prev, cur)
+		cy, err := r.Cycle(prev, cur)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tr.Delays[i] = cy.Delay
-		tr.Events += cy.Events
-		if cy.Delay > tr.MaxDelay {
-			tr.MaxDelay = cy.Delay
+		*events += cy.Events
+		if cy.Delay > *maxDelay {
+			*maxDelay = cy.Delay
 		}
 		init := r.InitialOutputs()
 		for k, tclk := range clocks {
@@ -168,7 +270,7 @@ func CharacterizeContext(ctx context.Context, u *FUnit, corner cells.Corner, s *
 		}
 		prev = nil // streaming mode: the runner keeps its settled state
 	}
-	return tr, nil
+	return nil
 }
 
 // CharacterizeWithSpeedups is Characterize with the capture periods
@@ -181,6 +283,12 @@ func CharacterizeWithSpeedups(u *FUnit, corner cells.Corner, s *workload.Stream,
 // CharacterizeWithSpeedupsContext is CharacterizeWithSpeedups with
 // cooperative cancellation (see CharacterizeContext).
 func CharacterizeWithSpeedupsContext(ctx context.Context, u *FUnit, corner cells.Corner, s *workload.Stream, speedups []float64) (*Trace, error) {
+	return CharacterizeWithSpeedupsOptsContext(ctx, u, corner, s, speedups, CharacterizeOptions{})
+}
+
+// CharacterizeWithSpeedupsOptsContext is CharacterizeWithSpeedupsContext
+// with explicit execution options (see CharacterizeOptions).
+func CharacterizeWithSpeedupsOptsContext(ctx context.Context, u *FUnit, corner cells.Corner, s *workload.Stream, speedups []float64, opts CharacterizeOptions) (*Trace, error) {
 	if u == nil {
 		return nil, fmt.Errorf("core: CharacterizeWithSpeedups called with a nil functional unit")
 	}
@@ -188,5 +296,5 @@ func CharacterizeWithSpeedupsContext(ctx context.Context, u *FUnit, corner cells
 	if err != nil {
 		return nil, err
 	}
-	return CharacterizeContext(ctx, u, corner, s, clocks)
+	return CharacterizeOptsContext(ctx, u, corner, s, clocks, opts)
 }

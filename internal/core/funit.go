@@ -22,9 +22,20 @@ type FUnit struct {
 	NL   *netlist.Netlist
 	Opts sta.Options
 
-	mu    sync.Mutex
-	cache map[cells.Corner]*sta.Result
-	base  map[cells.Corner]float64 // measured error-free clock overrides
+	mu       sync.Mutex
+	cache    map[cells.Corner]*sta.Result
+	base     map[cells.Corner]float64 // measured error-free clock overrides
+	inflight map[cells.Corner]*staCall
+	epoch    uint64 // bumped by EnableLayout; stale analyses are not cached
+	staRuns  int    // analyses actually executed (observability for tests)
+}
+
+// staCall is one in-flight STA analysis shared by every concurrent
+// Static caller at the same corner (singleflight).
+type staCall struct {
+	done chan struct{}
+	res  *sta.Result
+	err  error
 }
 
 // NewFUnit builds the netlist for fu with default STA options.
@@ -42,22 +53,46 @@ func NewFUnit(fu circuits.FU) (*FUnit, error) {
 	}, nil
 }
 
-// Static returns (and caches) the STA result at a corner.
+// Static returns (and caches) the STA result at a corner. Concurrent
+// callers at the same uncached corner share a single analysis: the first
+// runs sta.Analyze, the rest block on its completion (singleflight), so
+// a sharded characterization never duplicates the STA work.
 func (u *FUnit) Static(c cells.Corner) (*sta.Result, error) {
 	u.mu.Lock()
-	res, ok := u.cache[c]
-	u.mu.Unlock()
-	if ok {
+	if res, ok := u.cache[c]; ok {
+		u.mu.Unlock()
 		return res, nil
 	}
-	res, err := sta.Analyze(u.NL, c, u.Opts)
-	if err != nil {
-		return nil, err
+	if call, ok := u.inflight[c]; ok {
+		u.mu.Unlock()
+		<-call.done
+		return call.res, call.err
 	}
-	u.mu.Lock()
-	u.cache[c] = res
+	call := &staCall{done: make(chan struct{})}
+	if u.inflight == nil {
+		u.inflight = make(map[cells.Corner]*staCall)
+	}
+	u.inflight[c] = call
+	epoch := u.epoch
+	opts := u.Opts
+	u.staRuns++
 	u.mu.Unlock()
-	return res, nil
+
+	call.res, call.err = sta.Analyze(u.NL, c, opts)
+
+	u.mu.Lock()
+	if u.inflight[c] == call {
+		delete(u.inflight, c)
+	}
+	// Don't cache results computed against options that EnableLayout has
+	// since replaced; the waiters still get this (pre-layout) result, as
+	// they asked before the switch.
+	if call.err == nil && epoch == u.epoch {
+		u.cache[c] = call.res
+	}
+	u.mu.Unlock()
+	close(call.done)
+	return call.res, call.err
 }
 
 // NewRunner creates an event-driven simulator annotated for the corner.
@@ -117,7 +152,13 @@ func (u *FUnit) CalibrateBaseClock(c cells.Corner, s *workload.Stream) (float64,
 // CalibrateBaseClockContext is CalibrateBaseClock with cooperative
 // cancellation (see CharacterizeContext).
 func (u *FUnit) CalibrateBaseClockContext(ctx context.Context, c cells.Corner, s *workload.Stream) (float64, error) {
-	tr, err := CharacterizeContext(ctx, u, c, s, nil)
+	return u.CalibrateBaseClockOptsContext(ctx, c, s, CharacterizeOptions{})
+}
+
+// CalibrateBaseClockOptsContext is CalibrateBaseClockContext with
+// explicit characterization options (see CharacterizeOptions).
+func (u *FUnit) CalibrateBaseClockOptsContext(ctx context.Context, c cells.Corner, s *workload.Stream, opts CharacterizeOptions) (float64, error) {
+	tr, err := CharacterizeOptsContext(ctx, u, c, s, nil, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -162,6 +203,11 @@ func (u *FUnit) EnableLayout() error {
 	u.Opts.Wire = place.DefaultWire()
 	u.cache = make(map[cells.Corner]*sta.Result)
 	u.base = make(map[cells.Corner]float64)
+	// In-flight pre-layout analyses keep serving their waiters but must
+	// not land in the fresh cache: the epoch bump marks them stale, and
+	// dropping the map entries lets new callers start post-layout runs.
+	u.epoch++
+	u.inflight = nil
 	return nil
 }
 

@@ -149,21 +149,31 @@ func CompareMethods(train, test []*Trace, k int, seed int64) ([]MethodResult, er
 }
 
 // flatten turns traces into (features, delay labels, error labels at
-// clock k).
+// clock k), with all feature rows carved out of one contiguous backing
+// array.
 func flatten(traces []*Trace, k int) (X [][]float64, y []float64, e []bool, err error) {
+	total := 0
 	for _, tr := range traces {
 		if k >= len(tr.ClockPeriods) {
 			return nil, nil, nil, fmt.Errorf("core: trace lacks clock index %d", k)
 		}
+		total += tr.Cycles()
+	}
+	if total == 0 {
+		return nil, nil, nil, fmt.Errorf("core: no samples")
+	}
+	X = featureRows(total, features.Dim)
+	y = make([]float64, 0, total)
+	e = make([]bool, 0, total)
+	row := 0
+	for _, tr := range traces {
 		pairs := tr.Stream.Pairs
 		for i := 0; i < tr.Cycles(); i++ {
-			X = append(X, features.Vector(tr.Corner, pairs[i+1], pairs[i]))
+			features.VectorInto(X[row], tr.Corner, pairs[i+1], pairs[i])
+			row++
 			y = append(y, tr.Delays[i])
 			e = append(e, tr.Errors[k][i])
 		}
-	}
-	if len(X) == 0 {
-		return nil, nil, nil, fmt.Errorf("core: no samples")
 	}
 	return X, y, e, nil
 }

@@ -55,21 +55,27 @@ func Train(fu circuits.FU, traces []*Trace, cfg Config) (*Model, error) {
 	if !cfg.History {
 		dim = features.DimNH
 	}
-	var X [][]float64
-	var y []float64
+	total := 0
 	for _, tr := range traces {
 		if tr.FU != fu {
 			return nil, fmt.Errorf("core: trace for %v mixed into %v training", tr.FU, fu)
 		}
+		total += tr.Cycles()
+	}
+	// One contiguous backing array for all rows: cheaper to fill and much
+	// friendlier to the forest's split scans than n separate row allocs.
+	X := featureRows(total, dim)
+	y := make([]float64, 0, total)
+	row := 0
+	for _, tr := range traces {
 		pairs := tr.Stream.Pairs
 		for i := 0; i < tr.Cycles(); i++ {
-			var x []float64
 			if cfg.History {
-				x = features.Vector(tr.Corner, pairs[i+1], pairs[i])
+				features.VectorInto(X[row], tr.Corner, pairs[i+1], pairs[i])
 			} else {
-				x = features.VectorNH(tr.Corner, pairs[i+1])
+				features.VectorNHInto(X[row], tr.Corner, pairs[i+1])
 			}
-			X = append(X, x)
+			row++
 			y = append(y, tr.Delays[i])
 		}
 	}
@@ -118,15 +124,26 @@ func (m *Model) PredictDelays(corner cells.Corner, s *workload.Stream) ([]float6
 	if s.Len() < 2 {
 		return nil, fmt.Errorf("core: stream %q too short", s.Name)
 	}
-	X := make([][]float64, s.Len()-1)
+	X := featureRows(s.Len()-1, m.dim)
 	for i := 0; i < s.Len()-1; i++ {
 		if m.History {
-			X[i] = features.Vector(corner, s.Pairs[i+1], s.Pairs[i])
+			features.VectorInto(X[i], corner, s.Pairs[i+1], s.Pairs[i])
 		} else {
-			X[i] = features.VectorNH(corner, s.Pairs[i+1])
+			features.VectorNHInto(X[i], corner, s.Pairs[i+1])
 		}
 	}
 	return m.forest.PredictBatch(X), nil
+}
+
+// featureRows carves n rows of width dim out of one contiguous backing
+// array (each row capped so an append cannot bleed into its neighbor).
+func featureRows(n, dim int) [][]float64 {
+	backing := make([]float64, n*dim)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
 }
 
 // FeatureImportance reports which features drive the model's delay

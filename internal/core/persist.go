@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"tevot/internal/circuits"
+	"tevot/internal/features"
 	"tevot/internal/ml"
 )
 
@@ -63,5 +64,9 @@ func LoadModel(r io.Reader) (m *Model, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Model{FU: fu, History: hdr.History, forest: forest}, nil
+	dim := features.Dim
+	if !hdr.History {
+		dim = features.DimNH
+	}
+	return &Model{FU: fu, History: hdr.History, forest: forest, dim: dim}, nil
 }

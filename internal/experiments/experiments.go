@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
@@ -36,6 +37,31 @@ type Scale struct {
 	Seed int64
 	// FUs restricts the functional units (nil = all four).
 	FUs []circuits.FU
+	// ShardWorkers is the per-characterization shard parallelism
+	// (core.CharacterizeOptions.Workers). 0 = auto: GOMAXPROCS divided
+	// by the sweep's cell-level worker count, so the two levels — cells
+	// across the pool, shards inside a cell — compose without
+	// oversubscribing the machine.
+	ShardWorkers int
+}
+
+// CharOpts resolves the two-level worker budget: with W cell-level
+// workers already running characterizations concurrently, each cell gets
+// GOMAXPROCS/W simulation shards (at least 1). An explicit
+// Scale.ShardWorkers overrides the division.
+func (l *Lab) CharOpts(cellWorkers int) core.CharacterizeOptions {
+	w := l.Scale.ShardWorkers
+	if w == 0 {
+		cw := cellWorkers
+		if cw <= 0 {
+			cw = runtime.GOMAXPROCS(0)
+		}
+		w = runtime.GOMAXPROCS(0) / cw
+		if w < 1 {
+			w = 1
+		}
+	}
+	return core.CharacterizeOptions{Workers: w}
 }
 
 // Small returns a laptop-scale configuration that exercises every code

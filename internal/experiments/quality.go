@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,16 +26,17 @@ func trainedModels(lab *Lab, fus []circuits.FU) ([]core.QualityModel, error) {
 	ter := make(map[circuits.FU]core.ErrorPredictor)
 	for _, fu := range fus {
 		u := lab.Units[fu]
+		opts := lab.CharOpts(1) // serial top level: each cell gets the machine
 		var traces []*core.Trace
 		for _, corner := range lab.Scale.Corners {
 			train, err := lab.Stream(fu, DatasetRandom, true)
 			if err != nil {
 				return nil, err
 			}
-			if _, err := u.CalibrateBaseClock(corner, train); err != nil {
+			if _, err := u.CalibrateBaseClockOptsContext(context.Background(), corner, train, opts); err != nil {
 				return nil, err
 			}
-			tr, err := core.CharacterizeWithSpeedups(u, corner, train, lab.Scale.Speedups)
+			tr, err := core.CharacterizeWithSpeedupsOptsContext(context.Background(), u, corner, train, lab.Scale.Speedups, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -49,7 +51,7 @@ func trainedModels(lab *Lab, fus []circuits.FU) ([]core.QualityModel, error) {
 				if err != nil {
 					return nil, err
 				}
-				trApp, err := core.CharacterizeWithSpeedups(u, corner, appTrain, lab.Scale.Speedups)
+				trApp, err := core.CharacterizeWithSpeedupsOptsContext(context.Background(), u, corner, appTrain, lab.Scale.Speedups, opts)
 				if err != nil {
 					return nil, err
 				}

@@ -48,6 +48,7 @@ func Fig3Run(ctx context.Context, lab *Lab, corners []cells.Corner, cfg runner.C
 	if cfg.Name == "" {
 		cfg.Name = fig3SweepName(lab, corners)
 	}
+	opts := lab.CharOpts(cfg.Workers)
 	var tasks []runner.Task[DelayRow]
 	for _, fu := range lab.Scale.fus() {
 		u := lab.Units[fu]
@@ -61,7 +62,7 @@ func Fig3Run(ctx context.Context, lab *Lab, corners []cells.Corner, cfg runner.C
 						if err != nil {
 							return DelayRow{}, err
 						}
-						tr, err := core.CharacterizeContext(ctx, u, corner, s, nil)
+						tr, err := core.CharacterizeOptsContext(ctx, u, corner, s, nil, opts)
 						if err != nil {
 							return DelayRow{}, err
 						}
@@ -106,13 +107,14 @@ func Table3Run(ctx context.Context, lab *Lab, cfg runner.Config) ([]Table3Cell, 
 	if cfg.Name == "" {
 		cfg.Name = table3SweepName(lab)
 	}
+	opts := lab.CharOpts(cfg.Workers)
 	var tasks []runner.Task[[]Table3Cell]
 	for _, fu := range lab.Scale.fus() {
 		fu := fu
 		tasks = append(tasks, runner.Task[[]Table3Cell]{
 			Key: "table3/" + fu.String(),
 			Run: func(ctx context.Context) ([]Table3Cell, error) {
-				return table3ForFU(ctx, lab, fu)
+				return table3ForFU(ctx, lab, fu, opts)
 			},
 		})
 	}
@@ -126,7 +128,7 @@ func Table3Run(ctx context.Context, lab *Lab, cfg runner.Config) ([]Table3Cell, 
 
 // table3ForFU is the per-FU offline + evaluation pipeline of Table III
 // (see Table3 for the paper mapping), made cancellation-aware.
-func table3ForFU(ctx context.Context, lab *Lab, fu circuits.FU) ([]Table3Cell, error) {
+func table3ForFU(ctx context.Context, lab *Lab, fu circuits.FU, opts core.CharacterizeOptions) ([]Table3Cell, error) {
 	u := lab.Units[fu]
 
 	// Offline phase: calibrate base clocks and characterize training
@@ -137,10 +139,10 @@ func table3ForFU(ctx context.Context, lab *Lab, fu circuits.FU) ([]Table3Cell, e
 		if err != nil {
 			return nil, err
 		}
-		if _, err := u.CalibrateBaseClockContext(ctx, corner, randTrain); err != nil {
+		if _, err := u.CalibrateBaseClockOptsContext(ctx, corner, randTrain, opts); err != nil {
 			return nil, err
 		}
-		trRand, err := core.CharacterizeWithSpeedupsContext(ctx, u, corner, randTrain, lab.Scale.Speedups)
+		trRand, err := core.CharacterizeWithSpeedupsOptsContext(ctx, u, corner, randTrain, lab.Scale.Speedups, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +152,7 @@ func table3ForFU(ctx context.Context, lab *Lab, fu circuits.FU) ([]Table3Cell, e
 			if err != nil {
 				return nil, err
 			}
-			trApp, err := core.CharacterizeWithSpeedupsContext(ctx, u, corner, appTrain, lab.Scale.Speedups)
+			trApp, err := core.CharacterizeWithSpeedupsOptsContext(ctx, u, corner, appTrain, lab.Scale.Speedups, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +189,7 @@ func table3ForFU(ctx context.Context, lab *Lab, fu circuits.FU) ([]Table3Cell, e
 		}
 		var testTraces []*core.Trace
 		for _, corner := range lab.Scale.Corners {
-			tr, err := core.CharacterizeWithSpeedupsContext(ctx, u, corner, testStream, lab.Scale.Speedups)
+			tr, err := core.CharacterizeWithSpeedupsOptsContext(ctx, u, corner, testStream, lab.Scale.Speedups, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -219,10 +221,11 @@ func Table2Run(ctx context.Context, lab *Lab, cfg runner.Config) ([]core.MethodR
 		cfg.Name = fmt.Sprintf("table2 fu=%s cycles=%d seed=%d", fu, lab.Scale.TrainCycles, lab.Scale.Seed)
 	}
 	key := "table2/" + fu.String()
+	opts := lab.CharOpts(cfg.Workers)
 	tasks := []runner.Task[[]core.MethodResult]{{
 		Key: key,
 		Run: func(ctx context.Context) ([]core.MethodResult, error) {
-			return table2ForFU(ctx, lab, fu)
+			return table2ForFU(ctx, lab, fu, opts)
 		},
 	}}
 	results, rep, err := runner.Run(ctx, cfg, tasks)
@@ -231,7 +234,7 @@ func Table2Run(ctx context.Context, lab *Lab, cfg runner.Config) ([]core.MethodR
 
 // table2ForFU is Table2's body (see Table2 for the clock-choice
 // rationale), made cancellation-aware.
-func table2ForFU(ctx context.Context, lab *Lab, fu circuits.FU) ([]core.MethodResult, error) {
+func table2ForFU(ctx context.Context, lab *Lab, fu circuits.FU, opts core.CharacterizeOptions) ([]core.MethodResult, error) {
 	u := lab.Units[fu]
 	corner := lab.Scale.Corners[0]
 	train, err := lab.Stream(fu, DatasetRandom, true)
@@ -242,23 +245,23 @@ func table2ForFU(ctx context.Context, lab *Lab, fu circuits.FU) ([]core.MethodRe
 	if err != nil {
 		return nil, err
 	}
-	if _, err := u.CalibrateBaseClockContext(ctx, corner, train); err != nil {
+	if _, err := u.CalibrateBaseClockOptsContext(ctx, corner, train, opts); err != nil {
 		return nil, err
 	}
 	// The capture clock balances the two classes: the 60th percentile of
 	// the training delays (see Table2's comment for why).
-	probe, err := core.CharacterizeContext(ctx, u, corner, train, nil)
+	probe, err := core.CharacterizeOptsContext(ctx, u, corner, train, nil, opts)
 	if err != nil {
 		return nil, err
 	}
 	sorted := append([]float64(nil), probe.Delays...)
 	sort.Float64s(sorted)
 	clock := sorted[len(sorted)*60/100]
-	trTrain, err := core.CharacterizeContext(ctx, u, corner, train, []float64{clock})
+	trTrain, err := core.CharacterizeOptsContext(ctx, u, corner, train, []float64{clock}, opts)
 	if err != nil {
 		return nil, err
 	}
-	trTest, err := core.CharacterizeContext(ctx, u, corner, test, []float64{clock})
+	trTest, err := core.CharacterizeOptsContext(ctx, u, corner, test, []float64{clock}, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -23,21 +23,34 @@ const DimNH = 66
 // current pair's 64 bits, the previous pair's 64 bits, then V and T.
 func Vector(corner cells.Corner, cur, prev workload.OperandPair) []float64 {
 	x := make([]float64, Dim)
-	fillBits(x[0:64], cur)
-	fillBits(x[64:128], prev)
-	x[128] = corner.V
-	x[129] = corner.T
+	VectorInto(x, corner, cur, prev)
 	return x
+}
+
+// VectorInto is Vector writing into the caller-provided dst (which must
+// have Dim entries), so bulk feature extraction can fill rows of one
+// contiguous backing array without per-row allocations.
+func VectorInto(dst []float64, corner cells.Corner, cur, prev workload.OperandPair) {
+	fillBits(dst[0:64], cur)
+	fillBits(dst[64:128], prev)
+	dst[128] = corner.V
+	dst[129] = corner.T
 }
 
 // VectorNH builds the 66-dimensional history-free feature (TEVoT-NH):
 // current pair bits, V, T.
 func VectorNH(corner cells.Corner, cur workload.OperandPair) []float64 {
 	x := make([]float64, DimNH)
-	fillBits(x[0:64], cur)
-	x[64] = corner.V
-	x[65] = corner.T
+	VectorNHInto(x, corner, cur)
 	return x
+}
+
+// VectorNHInto is VectorNH writing into the caller-provided dst (which
+// must have DimNH entries).
+func VectorNHInto(dst []float64, corner cells.Corner, cur workload.OperandPair) {
+	fillBits(dst[0:64], cur)
+	dst[64] = corner.V
+	dst[65] = corner.T
 }
 
 func fillBits(dst []float64, p workload.OperandPair) {

@@ -54,6 +54,41 @@ func BenchmarkForestPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkForestPredictBatch measures batched inference through the
+// flat node arena — the model-side hot path. The rows/s metric is what
+// scripts/benchdiff.sh tracks; the Into variant must stay at 0 allocs.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	X, y := benchData(5000, 2)
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if err := f.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.PredictBatch(X)
+		}
+		b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+	b.Run("into", func(b *testing.B) {
+		dst := make([]float64, len(X))
+		// The inline (single-worker) walk must be allocation-free; the
+		// goroutine fan-out above it may allocate on multicore machines.
+		if allocs := testing.AllocsPerRun(5, func() {
+			f.flat.predictRange(X, dst, 0, len(X))
+		}); allocs != 0 {
+			b.Fatalf("inline batched predict allocates %.1f/op; want 0", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.PredictBatchInto(dst, X)
+		}
+		b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	})
+}
+
 func BenchmarkKNNPredict(b *testing.B) {
 	X, y := benchData(5000, 3)
 	m := NewKNN(5, Regression)

@@ -1,0 +1,154 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// flatForest is the inference-optimized form of a fitted forest: every
+// tree's nodes packed into one contiguous structure-of-arrays arena.
+// Walking a tree touches five parallel arrays instead of chasing
+// per-tree node slices, keeping the hot loop's working set dense and
+// branch-predictable; child links are absolute arena indices so one set
+// of arrays serves the whole ensemble.
+type flatForest struct {
+	feature   []int32 // -1 for leaves
+	threshold []float64
+	left      []int32 // absolute arena indices
+	right     []int32
+	value     []float64
+	roots     []int32 // arena index of each tree's root
+	mode      Mode
+	classes   int // classification: max class count over trees
+}
+
+// flatten packs the pointer trees into the arena. Node order within a
+// tree is preserved, so arena index = tree base + node index and the
+// flat walk visits exactly the nodes the pointer walk would.
+func flatten(trees []*DecisionTree, mode Mode) *flatForest {
+	total := 0
+	for _, t := range trees {
+		total += len(t.nodes)
+	}
+	ff := &flatForest{
+		feature:   make([]int32, 0, total),
+		threshold: make([]float64, 0, total),
+		left:      make([]int32, 0, total),
+		right:     make([]int32, 0, total),
+		value:     make([]float64, 0, total),
+		roots:     make([]int32, 0, len(trees)),
+		mode:      mode,
+	}
+	for _, t := range trees {
+		base := int32(len(ff.feature))
+		ff.roots = append(ff.roots, base)
+		if t.classes > ff.classes {
+			ff.classes = t.classes
+		}
+		for _, n := range t.nodes {
+			ff.feature = append(ff.feature, n.feature)
+			ff.threshold = append(ff.threshold, n.threshold)
+			if n.feature < 0 {
+				ff.left = append(ff.left, -1)
+				ff.right = append(ff.right, -1)
+			} else {
+				ff.left = append(ff.left, base+n.left)
+				ff.right = append(ff.right, base+n.right)
+			}
+			ff.value = append(ff.value, n.value)
+		}
+	}
+	return ff
+}
+
+// predictTree walks one tree from its arena root.
+func (ff *flatForest) predictTree(root int32, x []float64) float64 {
+	i := root
+	for {
+		f := ff.feature[i]
+		if f < 0 {
+			return ff.value[i]
+		}
+		if x[f] <= ff.threshold[i] {
+			i = ff.left[i]
+		} else {
+			i = ff.right[i]
+		}
+	}
+}
+
+// maxStackClasses bounds the vote scratch that classification keeps on
+// the stack; ensembles with more classes fall back to a heap scratch per
+// block, still amortized over the block's rows.
+const maxStackClasses = 64
+
+// predictRow aggregates the ensemble for one row: mean for regression,
+// majority vote (lowest class wins ties) for classification. votes is
+// caller scratch of at least ff.classes entries (ignored for
+// regression).
+func (ff *flatForest) predictRow(x []float64, votes []int) float64 {
+	if ff.mode == Regression {
+		sum := 0.0
+		for _, root := range ff.roots {
+			sum += ff.predictTree(root, x)
+		}
+		return sum / float64(len(ff.roots))
+	}
+	votes = votes[:ff.classes]
+	for c := range votes {
+		votes[c] = 0
+	}
+	for _, root := range ff.roots {
+		votes[int(ff.predictTree(root, x))]++
+	}
+	bestC, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			bestC, bestN = c, n
+		}
+	}
+	return float64(bestC)
+}
+
+// predictRange fills out[lo:hi] with predictions for X[lo:hi] without
+// allocating (for regression, or classification with at most
+// maxStackClasses classes).
+func (ff *flatForest) predictRange(X [][]float64, out []float64, lo, hi int) {
+	var stack [maxStackClasses]int
+	votes := stack[:]
+	if ff.classes > maxStackClasses {
+		votes = make([]int, ff.classes)
+	}
+	for i := lo; i < hi; i++ {
+		out[i] = ff.predictRow(X[i], votes)
+	}
+}
+
+// predictBlocked partitions rows into contiguous blocks and predicts
+// them on up to workers goroutines. Small batches run inline: goroutine
+// fan-out only pays for itself once each worker has a few thousand tree
+// walks to do.
+const minParallelRows = 512
+
+func (ff *flatForest) predictBlocked(X [][]float64, out []float64, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(X)/minParallelRows {
+		workers = len(X) / minParallelRows
+	}
+	if workers <= 1 {
+		ff.predictRange(X, out, 0, len(X))
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(X)/workers, (w+1)*len(X)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ff.predictRange(X, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

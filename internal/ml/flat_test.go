@@ -1,0 +1,154 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refPredict is the pointer-tree oracle the flat arena must match.
+func refPredict(f *RandomForest, x []float64) float64 {
+	return f.predictTrees(x)
+}
+
+// randomRow draws a TEVoT-shaped feature vector.
+func randomRow(rng *rand.Rand) []float64 {
+	x := make([]float64, 130)
+	for j := 0; j < 128; j++ {
+		x[j] = float64(rng.Intn(2))
+	}
+	x[128] = 0.81 + float64(rng.Intn(20))*0.01
+	x[129] = float64(rng.Intn(5)) * 25
+	return x
+}
+
+// TestFlatForestMatchesPointerTrees is the quickcheck of the flattened
+// arena: across random forests (both modes, several seeds) and random
+// rows, the flat walk must agree exactly with the pointer-tree walk.
+func TestFlatForestMatchesPointerTrees(t *testing.T) {
+	for _, mode := range []Mode{Regression, Classification} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 400
+			X := make([][]float64, n)
+			y := make([]float64, n)
+			for i := range X {
+				X[i] = randomRow(rng)
+				if mode == Regression {
+					y[i] = 100 + 40*X[i][30] + 20*X[i][62] + X[i][128]*10
+				} else {
+					y[i] = float64(rng.Intn(3))
+				}
+			}
+			cfg := DefaultForestConfig(mode)
+			cfg.Seed = seed
+			f := NewRandomForest(cfg)
+			if err := f.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			if f.flat == nil {
+				t.Fatal("Fit did not build the flat arena")
+			}
+			for trial := 0; trial < 500; trial++ {
+				x := randomRow(rng)
+				want := refPredict(f, x)
+				got := f.Predict(x)
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("mode %v seed %d trial %d: flat Predict %v != pointer-tree %v", mode, seed, trial, got, want)
+				}
+			}
+			// Batch path: same rows through PredictBatch and the Into
+			// variant must reproduce per-row Predict exactly.
+			batch := make([][]float64, 700)
+			for i := range batch {
+				batch[i] = randomRow(rng)
+			}
+			out := f.PredictBatch(batch)
+			dst := make([]float64, len(batch))
+			f.PredictBatchInto(dst, batch)
+			for i := range batch {
+				want := refPredict(f, batch[i])
+				if out[i] != want {
+					t.Fatalf("mode %v seed %d row %d: PredictBatch %v != %v", mode, seed, i, out[i], want)
+				}
+				if dst[i] != want {
+					t.Fatalf("mode %v seed %d row %d: PredictBatchInto %v != %v", mode, seed, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatForestSurvivesSaveLoad checks that a round-tripped forest
+// rebuilds its arena and predicts identically.
+func TestFlatForestSurvivesSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range X {
+		X[i] = randomRow(rng)
+		y[i] = 50 + 10*X[i][5] + X[i][129]
+	}
+	f := NewRandomForest(DefaultForestConfig(Regression))
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.flat == nil {
+		t.Fatal("LoadForest did not rebuild the flat arena")
+	}
+	for trial := 0; trial < 200; trial++ {
+		x := randomRow(rng)
+		if got, want := g.Predict(x), f.Predict(x); got != want {
+			t.Fatalf("trial %d: loaded forest predicts %v, original %v", trial, got, want)
+		}
+	}
+}
+
+// TestPredictBatchIntoNoAllocs locks in the allocation-free batched
+// inference path (inline, no goroutine fan-out) for both modes.
+func TestPredictBatchIntoNoAllocs(t *testing.T) {
+	for _, mode := range []Mode{Regression, Classification} {
+		rng := rand.New(rand.NewSource(4))
+		X := make([][]float64, 300)
+		y := make([]float64, 300)
+		for i := range X {
+			X[i] = randomRow(rng)
+			if mode == Regression {
+				y[i] = 100 + 20*X[i][31]
+			} else {
+				y[i] = float64(rng.Intn(2))
+			}
+		}
+		cfg := DefaultForestConfig(mode)
+		cfg.Workers = 1
+		f := NewRandomForest(cfg)
+		if err := f.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, len(X))
+		allocs := testing.AllocsPerRun(20, func() {
+			f.PredictBatchInto(dst, X)
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: PredictBatchInto allocates %.1f times per call; want 0", mode, allocs)
+		}
+		// Single-row Predict is allocation-free too (the classification
+		// vote scratch lives on the stack).
+		x := randomRow(rng)
+		allocs = testing.AllocsPerRun(50, func() {
+			f.Predict(x)
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: Predict allocates %.1f times per call; want 0", mode, allocs)
+		}
+	}
+}

@@ -35,10 +35,13 @@ func DefaultForestConfig(mode Mode) ForestConfig {
 }
 
 // RandomForest is a bagged ensemble of CART trees: the model the paper
-// selects for TEVoT ("RFC" in Table II).
+// selects for TEVoT ("RFC" in Table II). After fitting (or loading) the
+// ensemble is additionally packed into a flat node arena (see
+// flatForest) that Predict and PredictBatch walk allocation-free.
 type RandomForest struct {
 	cfg   ForestConfig
 	trees []*DecisionTree
+	flat  *flatForest
 }
 
 // NewRandomForest returns an unfitted forest.
@@ -98,15 +101,31 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 			return err
 		}
 	}
+	f.flat = flatten(f.trees, f.cfg.Tree.Mode)
 	return nil
 }
 
 // Predict aggregates the member trees: mean for regression, majority
-// vote for classification.
+// vote (lower class wins ties) for classification. The fitted forest
+// predicts through the flat arena without allocating.
 func (f *RandomForest) Predict(x []float64) float64 {
+	if f.flat != nil {
+		var stack [maxStackClasses]int
+		votes := stack[:]
+		if f.flat.classes > maxStackClasses {
+			votes = make([]int, f.flat.classes)
+		}
+		return f.flat.predictRow(x, votes)
+	}
 	if len(f.trees) == 0 {
 		return 0
 	}
+	return f.predictTrees(x)
+}
+
+// predictTrees is the pointer-tree reference aggregation, kept for
+// unpacked forests and as the oracle the flat arena is tested against.
+func (f *RandomForest) predictTrees(x []float64) float64 {
 	if f.cfg.Tree.Mode == Regression {
 		sum := 0.0
 		for _, t := range f.trees {
@@ -127,30 +146,26 @@ func (f *RandomForest) Predict(x []float64) float64 {
 	return float64(bestC)
 }
 
-// PredictBatch predicts many rows, in parallel.
+// PredictBatch predicts many rows, partitioned in contiguous blocks
+// across up to cfg.Workers goroutines.
 func (f *RandomForest) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	workers := f.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(X) + workers - 1) / workers
-	for lo := 0; lo < len(X); lo += chunk {
-		hi := lo + chunk
-		if hi > len(X) {
-			hi = len(X)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = f.Predict(X[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	f.PredictBatchInto(out, X)
 	return out
+}
+
+// PredictBatchInto is PredictBatch writing into the caller-provided dst
+// (len(dst) must be >= len(X)), so a steady-state inference loop reuses
+// one output buffer. Blocks of rows are predicted on up to cfg.Workers
+// goroutines; small batches run inline and allocation-free.
+func (f *RandomForest) PredictBatchInto(dst []float64, X [][]float64) {
+	if f.flat != nil {
+		f.flat.predictBlocked(X, dst[:len(X)], f.cfg.Workers)
+		return
+	}
+	for i := range X {
+		dst[i] = f.Predict(X[i])
+	}
 }
 
 // NumTrees reports the fitted ensemble size.

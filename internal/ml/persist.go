@@ -105,5 +105,8 @@ func LoadForest(r io.Reader) (f *RandomForest, err error) {
 		}
 		f.trees[i] = t
 	}
+	// Pack the loaded ensemble into the flat inference arena, exactly as
+	// Fit does, so a shipped model predicts at full speed.
+	f.flat = flatten(f.trees, f.cfg.Tree.Mode)
 	return f, nil
 }

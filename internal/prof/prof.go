@@ -1,0 +1,52 @@
+// Package prof wires Go's runtime profilers into the command-line
+// tools: every cmd/ binary takes -cpuprofile and -memprofile flags whose
+// outputs feed `go tool pprof`, so a slow sweep can be attributed to
+// simulation, STA, or model code without instrumenting anything.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (if non-empty). Call the stop function exactly once, after the
+// measured work completes; it is safe when both paths are empty (no-op).
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: creating heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/sta"
+)
+
+// steadyRunner builds a warmed-up runner and a pool of input vectors for
+// allocation measurements.
+func steadyRunner(t testing.TB, fu circuits.FU) (*Runner, [][]bool) {
+	nl, err := fu.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays, err := sta.GateDelays(nl, cells.Corner{V: 0.85, T: 50}, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	vecs := make([][]bool, 64)
+	for i := range vecs {
+		vecs[i] = circuits.EncodeOperands(rng.Uint32(), rng.Uint32())
+	}
+	// Warm-up pass: grow the toggle, heap, and batch buffers to their
+	// working capacity so the steady state reuses them.
+	if _, err := r.Cycle(vecs[0], vecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*len(vecs); i++ {
+		if _, err := r.Cycle(nil, vecs[i%len(vecs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, vecs
+}
+
+// TestCycleSteadyStateNoAllocs locks in the allocation-free hot path:
+// after warm-up, streaming Cycle calls reuse every internal buffer.
+func TestCycleSteadyStateNoAllocs(t *testing.T) {
+	for _, fu := range circuits.AllFUs {
+		t.Run(fu.String(), func(t *testing.T) {
+			r, vecs := steadyRunner(t, fu)
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := r.Cycle(nil, vecs[i%len(vecs)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Cycle allocates %.1f times per call; want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestSampledIntoMatchesSampled checks the no-alloc sampling variant
+// against the allocating one across candidate clocks, and that it does
+// not allocate.
+func TestSampledIntoMatchesSampled(t *testing.T) {
+	r, vecs := steadyRunner(t, circuits.IntAdd32)
+	dst := make([]bool, len(r.Netlist().PrimaryOutputs))
+	for i := 0; i < len(vecs); i++ {
+		res, err := r.Cycle(nil, vecs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := r.InitialOutputs()
+		for _, tclk := range []float64{0, res.Delay / 2, res.Delay, res.Delay * 2} {
+			want := res.Sampled(init, tclk)
+			got := res.SampledInto(dst, init, tclk)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("cycle %d tclk %v: SampledInto[%d] = %v, Sampled = %v", i, tclk, k, got[k], want[k])
+				}
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			res.SampledInto(dst, init, res.Delay/2)
+		})
+		if allocs != 0 {
+			t.Fatalf("SampledInto allocates %.1f times per call; want 0", allocs)
+		}
+	}
+}

@@ -32,9 +32,28 @@ func BenchmarkCycle(b *testing.B) {
 			for i := range vecs {
 				vecs[i] = circuits.EncodeOperands(rng.Uint32(), rng.Uint32())
 			}
+			// Warm the runner's scratch buffers over the whole vector set,
+			// then assert the steady-state path allocates nothing.
 			if _, err := r.Cycle(vecs[0], vecs[1]); err != nil {
 				b.Fatal(err)
 			}
+			for pass := 0; pass < 2; pass++ {
+				for _, v := range vecs {
+					if _, err := r.Cycle(nil, v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			j := 0
+			if allocs := testing.AllocsPerRun(len(vecs), func() {
+				if _, err := r.Cycle(nil, vecs[j%len(vecs)]); err != nil {
+					b.Fatal(err)
+				}
+				j++
+			}); allocs != 0 {
+				b.Fatalf("steady-state Cycle allocates %.1f/op; want 0", allocs)
+			}
+			b.ReportAllocs()
 			events := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

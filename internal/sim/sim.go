@@ -47,7 +47,15 @@ type CycleResult struct {
 // applied on top of the cycle's initial output values (transitions at the
 // sampling instant are missed).
 func (r *CycleResult) Sampled(initial []bool, tclk float64) []bool {
-	dst := append([]bool(nil), initial...)
+	return r.SampledInto(make([]bool, len(initial)), initial, tclk)
+}
+
+// SampledInto is Sampled writing into the caller-provided dst (which
+// must have len(initial) entries and may alias initial), so a
+// characterization loop can sample every cycle without allocating. It
+// returns dst.
+func (r *CycleResult) SampledInto(dst, initial []bool, tclk float64) []bool {
+	copy(dst, initial)
 	for i, ts := range r.Toggles {
 		for _, tg := range ts {
 			if tg.T < tclk {

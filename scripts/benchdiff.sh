@@ -1,0 +1,48 @@
+#!/bin/sh
+# Compare two benchmark JSON files produced by scripts/benchjson.sh and
+# fail (exit 1) when any shared benchmark's ns/op regressed by more than
+# the threshold percentage. Throughput metrics (cycles/s, rows/s) are
+# reported but only ns/op gates, since throughput is derived from it.
+#
+# Usage: sh scripts/benchdiff.sh old.json new.json [threshold-pct]
+set -eu
+if [ $# -lt 2 ]; then
+	echo "usage: sh scripts/benchdiff.sh old.json new.json [threshold-pct]" >&2
+	exit 2
+fi
+
+python3 - "$1" "$2" "${3:-10}" <<'EOF'
+import json, sys
+
+old = json.load(open(sys.argv[1]))["benchmarks"]
+new = json.load(open(sys.argv[2]))["benchmarks"]
+threshold = float(sys.argv[3])
+
+shared = sorted(set(old) & set(new))
+if not shared:
+    print("benchdiff: no shared benchmarks between the two files", file=sys.stderr)
+    sys.exit(2)
+
+failed = []
+print(f"{'benchmark':60s} {'old ns/op':>14s} {'new ns/op':>14s} {'delta':>8s}")
+for name in shared:
+    o, n = old[name].get("ns/op"), new[name].get("ns/op")
+    if not o or n is None:
+        continue
+    delta = (n - o) / o * 100
+    flag = ""
+    if delta > threshold:
+        failed.append((name, delta))
+        flag = "  REGRESSION"
+    print(f"{name:60s} {o:14.0f} {n:14.0f} {delta:+7.1f}%{flag}")
+
+for name in sorted(set(new) - set(old)):
+    print(f"{name:60s} {'-':>14s} {new[name].get('ns/op', 0):14.0f}     new")
+
+if failed:
+    print(f"\nbenchdiff: {len(failed)} benchmark(s) regressed more than {threshold:.0f}%:", file=sys.stderr)
+    for name, delta in failed:
+        print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+    sys.exit(1)
+print(f"\nbenchdiff: ok (no ns/op regression above {threshold:.0f}%)")
+EOF

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run the DTA performance benchmarks and serialize the results to JSON
+# so scripts/benchdiff.sh can compare two commits.
+#
+# Usage: sh scripts/benchjson.sh [out.json]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_dta.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+	-bench 'BenchmarkCharacterizeParallel|BenchmarkForestPredictBatch|BenchmarkCycle' \
+	-benchmem -count 1 \
+	./internal/core ./internal/ml ./internal/sim | tee "$tmp"
+
+python3 - "$tmp" "$out" <<'EOF'
+import json, re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+results = {}
+for line in lines:
+    m = re.match(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$", line)
+    if not m:
+        continue
+    name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+    metrics = {"iterations": iters}
+    for value, unit in re.findall(r"([0-9.]+)\s+(\S+)", rest):
+        metrics[unit] = float(value)
+    results[name] = metrics
+
+with open(sys.argv[2], "w") as f:
+    json.dump({"benchmarks": results}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(results)} benchmarks)")
+EOF

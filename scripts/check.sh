@@ -11,6 +11,11 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== determinism: sharded DTA bit-identity + singleflight (race)"
+go test -race -short -run \
+	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \
+	./internal/core
+
 echo "== go test -race ./..."
 go test -race ./...
 
