@@ -30,7 +30,7 @@ import (
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/liberty"
-	"tevot/internal/prof"
+	"tevot/internal/obs"
 	"tevot/internal/runner"
 	"tevot/internal/sdf"
 	"tevot/internal/sim"
@@ -67,38 +67,32 @@ func main() {
 
 		workers = flag.Int("workers", 0, "runner worker count (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "simulation shards for the characterization (0 = GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 		taskTO  = flag.Duration("task-timeout", 0, "characterization deadline (0 = none), e.g. 5m")
 		retries = flag.Int("retries", 1, "retries for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (replays a completed analysis)")
 		resume  = flag.Bool("resume", false, "skip the characterization if already in -checkpoint")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	run, err := obsFlags.Start("tevot-dta", *seed, runner.LiveProgress)
 	if err != nil {
 		log.Fatal(err)
 	}
-	flushProf := func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}
-	defer flushProf()
+	defer run.Close()
 
 	fu, err := circuits.ParseFU(*fuName)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	u, err := core.NewFUnit(fu)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	corner := cells.Corner{V: *voltage, T: *temp}
 	static, err := u.Static(corner)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	fmt.Printf("%s @ %s: %d gates, static delay %.1f ps\n",
 		fu, corner, u.NL.NumGates(), static.Delay)
@@ -106,17 +100,17 @@ func main() {
 	if *sdfPath != "" {
 		f, err := sdf.FromAnnotation(u.NL, corner, static.GateDelay)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		w, err := os.Create(*sdfPath)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := f.Write(w, u.NL); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := w.Close(); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("wrote SDF annotation to %s\n", *sdfPath)
 	}
@@ -124,17 +118,17 @@ func main() {
 	if *libPath != "" {
 		lib, err := liberty.FromScaling("tevot45", u.Opts.Scaling, corner)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		w, err := os.Create(*libPath)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := lib.Write(w); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := w.Close(); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("wrote Liberty library to %s\n", *libPath)
 	}
@@ -146,16 +140,16 @@ func main() {
 		// an observed runner.
 		w, err := os.Create(*vcdPath)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		window := static.Delay * 1.5
 		vw := vcd.NewWriter(w, u.NL, window)
 		if err := vw.WriteHeader("tevot", "tevot-dta"); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		r, err := sim.NewRunner(u.NL, static.GateDelay)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		r.SetObserver(vw.Observe)
 		prev := circuits.EncodeOperands(stream.Pairs[0].A, stream.Pairs[0].B)
@@ -163,15 +157,15 @@ func main() {
 			vw.BeginCycle(k - 1)
 			cur := circuits.EncodeOperands(stream.Pairs[k].A, stream.Pairs[k].B)
 			if _, err := r.Cycle(prev, cur); err != nil {
-				log.Fatal(err)
+				run.Fatal(err)
 			}
 			prev = nil
 		}
 		if err := vw.Close(); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := w.Close(); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("wrote VCD to %s\n", *vcdPath)
 	}
@@ -197,28 +191,27 @@ func main() {
 		Checkpoint:  *ckpt,
 		Resume:      *resume,
 		Seed:        *seed,
-		Logf:        log.Printf,
 	}
 	results, rep, err := runner.Run(ctx, cfg, []runner.Task[dtaResult]{task})
+	run.Note("report", rep)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
+			run.SetInterrupted()
 			hint := ""
 			if *ckpt != "" {
 				hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", *ckpt)
 			}
-			log.Printf("interrupted%s", hint)
-			flushProf()
-			os.Exit(130)
+			run.Log.Warn("interrupted" + hint)
+			run.Exit(130)
 		}
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	if rep.Failed > 0 {
-		log.Printf("%s", rep.Summary())
+		fmt.Println(rep.Summary())
 		for _, f := range rep.Failures {
-			log.Printf("  %v", f)
+			run.Log.Error("cell failed", "err", f)
 		}
-		flushProf()
-		os.Exit(1)
+		run.Exit(1)
 	}
 	res := results[key]
 	if rep.Resumed > 0 {
@@ -237,6 +230,7 @@ func main() {
 	fmt.Printf("mean delay  %.1f ps\n", res.MeanDelay)
 	fmt.Printf("p50 / p95   %.1f / %.1f ps\n", res.P50, res.P95)
 	fmt.Printf("max delay   %.1f ps (%.1f%% of static)\n", res.MaxDelay, 100*res.MaxDelay/res.StaticDelay)
+	fmt.Printf("\n%s\n", rep.Summary())
 }
 
 // characterize is the body of the single DTA cell: shmoo probe (when

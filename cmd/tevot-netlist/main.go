@@ -19,7 +19,7 @@ import (
 
 	"tevot/internal/circuits"
 	"tevot/internal/netlist"
-	"tevot/internal/prof"
+	"tevot/internal/obs"
 	"tevot/internal/verilog"
 )
 
@@ -32,34 +32,29 @@ func main() {
 		vPath    = flag.String("verilog", "", "write structural Verilog to this file")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT rendering to this file")
 		simplify = flag.Bool("simplify", false, "run the simplification pass and report the result")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	run, err := obsFlags.Start("tevot-netlist", 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer run.Close()
 
 	fu, err := circuits.ParseFU(*fuName)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	nl, err := fu.Build()
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 
 	if *stats {
 		depth, err := nl.Depth()
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("%s: %d gates, %d nets, depth %d, %d inputs, %d outputs\n",
 			nl.Name, nl.NumGates(), nl.NumNets(), depth,
@@ -78,7 +73,7 @@ func main() {
 	if *simplify {
 		out, st, err := netlist.Simplify(nl)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("simplify: %d -> %d gates (%d folded, %d dead)\n",
 			st.GatesBefore, st.GatesAfter, st.Folded, st.Dead)
@@ -88,13 +83,13 @@ func main() {
 	if *vPath != "" {
 		f, err := os.Create(*vPath)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := verilog.Write(f, nl); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("wrote Verilog to %s\n", *vPath)
 	}
@@ -102,13 +97,13 @@ func main() {
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := nl.WriteDOT(f); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("wrote DOT to %s\n", *dotPath)
 	}

@@ -25,7 +25,7 @@ import (
 	"tevot/internal/cells"
 	"tevot/internal/experiments"
 	"tevot/internal/imaging"
-	"tevot/internal/prof"
+	"tevot/internal/obs"
 )
 
 func main() {
@@ -39,20 +39,15 @@ func main() {
 		outDir  = flag.String("outdir", "", "write Fig. 4 PNG outputs to this directory")
 		seed    = flag.Int64("seed", 1, "global seed")
 		shards  = flag.Int("shards", 0, "simulation shards per characterization (0 = auto)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	run, err := obsFlags.Start("tevot-quality", *seed, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer run.Close()
 
 	scale := experiments.Small()
 	scale.Images = *images
@@ -70,11 +65,11 @@ func main() {
 
 	lab, err := experiments.NewLab(scale)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	rows, _, _, err := experiments.Table4(lab)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 
 	fmt.Println("Table IV — application quality estimation accuracy")
@@ -90,18 +85,18 @@ func main() {
 		return
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	outputs, err := experiments.Fig4(lab)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	fmt.Println("\nFig. 4 — Sobel outputs under injected errors")
 	for _, o := range outputs {
 		name := strings.ToLower(strings.ReplaceAll(o.Model, " ", "_")) + ".png"
 		path := filepath.Join(*outDir, name)
 		if err := writePNG(path, o.Image); err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		fmt.Printf("%-14s PSNR %6.1f dB  -> %s\n", o.Model, o.PSNR, path)
 	}

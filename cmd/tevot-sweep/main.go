@@ -25,12 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/experiments"
-	"tevot/internal/prof"
+	"tevot/internal/obs"
 	"tevot/internal/runner"
 )
 
@@ -46,8 +45,6 @@ func main() {
 
 		workers   = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "simulation shards per cell (0 = auto: GOMAXPROCS/workers)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 		taskTO    = flag.Duration("task-timeout", 0, "per-cell deadline (0 = none), e.g. 5m")
 		retries   = flag.Int("retries", 1, "retries per cell for transient failures")
 		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint file (written as cells complete)")
@@ -55,18 +52,14 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "inject deterministic transient faults into this fraction of cells (testing)")
 		seed      = flag.Int64("seed", 1, "seed for workloads, retry jitter, and fault injection")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	run, err := obsFlags.Start("tevot-sweep", *seed, runner.LiveProgress)
 	if err != nil {
 		log.Fatal(err)
 	}
-	flushProf := func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}
-	defer flushProf()
+	defer run.Close()
 
 	scale := experiments.Small()
 	scale.TestCycles = *cycles
@@ -79,7 +72,7 @@ func main() {
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		scale.FUs = []circuits.FU{fu}
 	}
@@ -90,7 +83,7 @@ func main() {
 
 	lab, err := experiments.NewLab(scale)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -104,13 +97,11 @@ func main() {
 		Checkpoint:  *ckpt,
 		Resume:      *resume,
 		Inject:      runner.NewFaultInjector(*seed, *faultRate),
-		Logf:        log.Printf,
 	}
-	start := time.Now()
 	rows, rep, err := experiments.Fig3Run(ctx, lab, corners, cfg)
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 
 	fmt.Println("FU       (V, T)          dataset        mean(ps)   max(ps)  static(ps)")
@@ -118,18 +109,18 @@ func main() {
 		fmt.Printf("%-8s %-14s  %-13s %9.1f %9.1f %10.1f\n",
 			r.FU, r.Corner, r.Dataset, r.MeanDelay, r.MaxDelay, r.Static)
 	}
-	fmt.Printf("\n%s in %v\n", rep.Summary(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n%s\n", rep.Summary())
+	run.Note("report", rep)
 	if interrupted {
+		run.SetInterrupted()
 		hint := ""
 		if *ckpt != "" {
 			hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", *ckpt)
 		}
-		log.Printf("interrupted%s", hint)
-		flushProf()
-		os.Exit(130)
+		run.Log.Warn("interrupted" + hint)
+		run.Exit(130)
 	}
 	if rep.Failed > 0 {
-		flushProf()
-		os.Exit(1)
+		run.Exit(1)
 	}
 }

@@ -31,13 +31,14 @@ import (
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/experiments"
-	"tevot/internal/prof"
+	"tevot/internal/obs"
 	"tevot/internal/runner"
 )
 
-// flushProf ends profiling before the explicit os.Exit paths; set in
-// main once the profilers start.
-var flushProf = func() {}
+// run is the observability lifecycle for this invocation (profiles,
+// debug endpoint, run manifest); set in main, used by the finish/exit
+// helpers on every termination path.
+var run *obs.Run
 
 func main() {
 	log.SetFlags(0)
@@ -53,25 +54,20 @@ func main() {
 
 		workers = flag.Int("workers", 0, "concurrent per-FU pipelines (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "simulation shards per characterization (0 = auto: GOMAXPROCS/workers)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 		taskTO  = flag.Duration("task-timeout", 0, "per-pipeline deadline (0 = none), e.g. 30m")
 		retries = flag.Int("retries", 1, "retries per pipeline for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (written as pipelines complete)")
 		resume  = flag.Bool("resume", false, "skip pipelines already in -checkpoint")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf)
+	var err error
+	run, err = obsFlags.Start("tevot-train", *seed, runner.LiveProgress)
 	if err != nil {
 		log.Fatal(err)
 	}
-	flushProf = func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}
-	defer flushProf()
+	defer run.Close()
 
 	var scale experiments.Scale
 	if *paper {
@@ -95,14 +91,14 @@ func main() {
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {
-			log.Fatal(err)
+			run.Fatal(err)
 		}
 		scale.FUs = []circuits.FU{fu}
 	}
 
 	lab, err := experiments.NewLab(scale)
 	if err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -115,7 +111,6 @@ func main() {
 		Seed:        *seed,
 		Checkpoint:  *ckpt,
 		Resume:      *resume,
-		Logf:        log.Printf,
 	}
 
 	if *saveDir != "" {
@@ -182,30 +177,28 @@ func finish(rep *runner.Report, err error, ckpt string) {
 		return
 	}
 	if !errors.Is(err, context.Canceled) {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	fmt.Println(rep.Summary())
+	run.Note("report", rep)
+	run.SetInterrupted()
 	hint := ""
 	if ckpt != "" {
 		hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", ckpt)
 	}
-	log.Printf("interrupted%s", hint)
-	flushProf()
-	os.Exit(130)
+	run.Log.Warn("interrupted" + hint)
+	run.Exit(130)
 }
 
 // exit prints the sweep report and sets the exit code: 0 only when every
 // cell succeeded.
 func exit(rep *runner.Report) {
-	if rep.Failed > 0 || rep.Retried > 0 || rep.Resumed > 0 {
-		fmt.Printf("\n%s\n", rep.Summary())
-	}
+	fmt.Printf("\n%s\n", rep.Summary())
+	run.Note("report", rep)
 	if rep.Failed > 0 {
-		flushProf()
-		os.Exit(1)
+		run.Exit(1)
 	}
-	flushProf()
-	os.Exit(0)
+	run.Exit(0)
 }
 
 // savedModel is the checkpointable record of one trained-and-saved
@@ -219,7 +212,7 @@ type savedModel struct {
 // with each per-FU pipeline as one runner cell.
 func saveModels(ctx context.Context, lab *experiments.Lab, cfg runner.Config, dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+		run.Fatal(err)
 	}
 	scale := lab.Scale
 	opts := lab.CharOpts(cfg.Workers)

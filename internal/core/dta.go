@@ -9,8 +9,18 @@ import (
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
+	"tevot/internal/obs"
 	"tevot/internal/sim"
 	"tevot/internal/workload"
+)
+
+// Observability: the cycle loop counts simulated cycles (one atomic add
+// per cycle — TestMetricsHotPathAllocs pins the primitive at 0 allocs,
+// and BenchmarkCharacterizeParallel gates the cost); events merge once
+// per shard. The simulate/merge spans feed the per-run stage table.
+var (
+	mCyclesSimulated = obs.NewCounter("core.cycles_simulated")
+	mSimEvents       = obs.NewCounter("core.sim_events")
 )
 
 // Trace is the outcome of dynamic timing analysis for one functional
@@ -207,6 +217,7 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 		}
 	}
 
+	endSim := obs.Time("dta.simulate")
 	events := make([]int, shards)
 	maxes := make([]float64, shards)
 	errs := make([]error, shards)
@@ -225,17 +236,21 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	endSim()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	endMerge := obs.Time("dta.merge")
 	for w := 0; w < shards; w++ {
 		tr.Events += events[w]
 		if maxes[w] > tr.MaxDelay {
 			tr.MaxDelay = maxes[w]
 		}
 	}
+	endMerge()
+	mSimEvents.Add(int64(tr.Events))
 	return tr, nil
 }
 
@@ -259,6 +274,7 @@ func characterizeShard(ctx context.Context, r *sim.Runner, s *workload.Stream, c
 		if err != nil {
 			return err
 		}
+		mCyclesSimulated.Inc()
 		tr.Delays[i] = cy.Delay
 		*events += cy.Events
 		if cy.Delay > *maxDelay {

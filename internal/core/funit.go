@@ -8,10 +8,21 @@ import (
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
 	"tevot/internal/netlist"
+	"tevot/internal/obs"
 	"tevot/internal/place"
 	"tevot/internal/sim"
 	"tevot/internal/sta"
 	"tevot/internal/workload"
+)
+
+// STA cache observability: a paper-scale sweep asks for the same
+// corner's timing thousands of times; hit/miss counters make a cold (or
+// epoch-invalidated) cache visible at /debug/vars instead of showing up
+// only as mysteriously slow cells. Singleflight waiters count as hits:
+// they pay a wait, not an analysis.
+var (
+	mSTAHits   = obs.NewCounter("sta.cache_hits")
+	mSTAMisses = obs.NewCounter("sta.cache_misses")
 )
 
 // FUnit bundles a functional unit's gate-level netlist with cached
@@ -40,7 +51,9 @@ type staCall struct {
 
 // NewFUnit builds the netlist for fu with default STA options.
 func NewFUnit(fu circuits.FU) (*FUnit, error) {
+	end := obs.Time("netlist.build")
 	nl, err := fu.Build()
+	end()
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +74,12 @@ func (u *FUnit) Static(c cells.Corner) (*sta.Result, error) {
 	u.mu.Lock()
 	if res, ok := u.cache[c]; ok {
 		u.mu.Unlock()
+		mSTAHits.Inc()
 		return res, nil
 	}
 	if call, ok := u.inflight[c]; ok {
 		u.mu.Unlock()
+		mSTAHits.Inc()
 		<-call.done
 		return call.res, call.err
 	}
@@ -78,7 +93,10 @@ func (u *FUnit) Static(c cells.Corner) (*sta.Result, error) {
 	u.staRuns++
 	u.mu.Unlock()
 
+	mSTAMisses.Inc()
+	end := obs.Time("sta.analyze")
 	call.res, call.err = sta.Analyze(u.NL, c, opts)
+	end()
 
 	u.mu.Lock()
 	if u.inflight[c] == call {

@@ -8,6 +8,7 @@ import (
 	"tevot/internal/circuits"
 	"tevot/internal/features"
 	"tevot/internal/ml"
+	"tevot/internal/obs"
 	"tevot/internal/workload"
 )
 
@@ -64,6 +65,7 @@ func Train(fu circuits.FU, traces []*Trace, cfg Config) (*Model, error) {
 	}
 	// One contiguous backing array for all rows: cheaper to fill and much
 	// friendlier to the forest's split scans than n separate row allocs.
+	endFeat := obs.Time("features.extract")
 	X := featureRows(total, dim)
 	y := make([]float64, 0, total)
 	row := 0
@@ -79,8 +81,12 @@ func Train(fu circuits.FU, traces []*Trace, cfg Config) (*Model, error) {
 			y = append(y, tr.Delays[i])
 		}
 	}
+	endFeat()
 	forest := ml.NewRandomForest(cfg.Forest)
-	if err := forest.Fit(X, y); err != nil {
+	endFit := obs.Time("forest.fit")
+	err := forest.Fit(X, y)
+	endFit()
+	if err != nil {
 		return nil, err
 	}
 	return &Model{FU: fu, History: cfg.History, forest: forest, dim: dim}, nil
@@ -124,6 +130,7 @@ func (m *Model) PredictDelays(corner cells.Corner, s *workload.Stream) ([]float6
 	if s.Len() < 2 {
 		return nil, fmt.Errorf("core: stream %q too short", s.Name)
 	}
+	endFeat := obs.Time("features.extract")
 	X := featureRows(s.Len()-1, m.dim)
 	for i := 0; i < s.Len()-1; i++ {
 		if m.History {
@@ -132,7 +139,11 @@ func (m *Model) PredictDelays(corner cells.Corner, s *workload.Stream) ([]float6
 			features.VectorNHInto(X[i], corner, s.Pairs[i+1])
 		}
 	}
-	return m.forest.PredictBatch(X), nil
+	endFeat()
+	endPred := obs.Time("forest.predict")
+	out := m.forest.PredictBatch(X)
+	endPred()
+	return out, nil
 }
 
 // featureRows carves n rows of width dim out of one contiguous backing

@@ -9,6 +9,7 @@ import (
 	"tevot/internal/core"
 	"tevot/internal/imaging"
 	"tevot/internal/inject"
+	"tevot/internal/obs"
 )
 
 // trainedModels trains TEVoT and TEVoT-NH and builds the two baselines
@@ -95,6 +96,7 @@ type Table4Row struct {
 
 // Table4 runs the quality study for both applications.
 func Table4(lab *Lab) ([]Table4Row, *core.QualityResult, *core.QualityResult, error) {
+	defer obs.Time("experiments.table4")()
 	var rows []Table4Row
 	var results []*core.QualityResult
 	for _, app := range inject.Apps {
@@ -126,6 +128,7 @@ type Fig4Output struct {
 // ground-truth error injection and under each model's derived TERs, at
 // one aggressive corner.
 func Fig4(lab *Lab) ([]Fig4Output, error) {
+	defer obs.Time("experiments.fig4")()
 	app := inject.SobelApp
 	models, err := trainedModels(lab, app.FUs())
 	if err != nil {

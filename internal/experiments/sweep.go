@@ -8,6 +8,7 @@ import (
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
 	"tevot/internal/core"
+	"tevot/internal/obs"
 	"tevot/internal/runner"
 )
 
@@ -42,6 +43,8 @@ func fig3SweepName(lab *Lab, corners []cells.Corner) string {
 // returned error is non-nil only for infrastructure problems or context
 // cancellation (partial rows and the Report are still returned).
 func Fig3Run(ctx context.Context, lab *Lab, corners []cells.Corner, cfg runner.Config) ([]DelayRow, *runner.Report, error) {
+	ctx, end := obs.Span(ctx, "experiments.fig3")
+	defer end()
 	if len(corners) == 0 {
 		corners = core.Fig3Corners()
 	}
@@ -104,6 +107,8 @@ func table3SweepName(lab *Lab) string {
 // evaluated. A panic or failure while training one FU no longer aborts
 // the other three.
 func Table3Run(ctx context.Context, lab *Lab, cfg runner.Config) ([]Table3Cell, *runner.Report, error) {
+	ctx, end := obs.Span(ctx, "experiments.table3")
+	defer end()
 	if cfg.Name == "" {
 		cfg.Name = table3SweepName(lab)
 	}
@@ -210,6 +215,8 @@ func table3ForFU(ctx context.Context, lab *Lab, fu circuits.FU, opts core.Charac
 // one corner), gaining panic isolation, deadline, retry, and resume
 // semantics for the learning-method comparison.
 func Table2Run(ctx context.Context, lab *Lab, cfg runner.Config) ([]core.MethodResult, *runner.Report, error) {
+	ctx, end := obs.Span(ctx, "experiments.table2")
+	defer end()
 	fu := lab.Scale.fus()[0]
 	for _, f := range lab.Scale.fus() {
 		if f == circuits.FPAdd32 {

@@ -5,6 +5,18 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
+
+	"tevot/internal/obs"
+)
+
+// Training/inference throughput gauges: the live view of whether the
+// forest has stalled during an hours-long sweep. Set once per Fit /
+// batched predict call — two time.Now reads and one atomic store, so
+// the zero-alloc PredictBatchInto contract is untouched.
+var (
+	gFitRowsPerSec     = obs.NewGauge("ml.fit_rows_per_sec")
+	gPredictRowsPerSec = obs.NewGauge("ml.predict_rows_per_sec")
 )
 
 // ForestConfig controls random-forest training.
@@ -62,6 +74,7 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 		return fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
 	}
 	n := len(X)
+	fitStart := time.Now()
 	f.trees = make([]*DecisionTree, f.cfg.Trees)
 	errs := make([]error, f.cfg.Trees)
 
@@ -102,6 +115,9 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 		}
 	}
 	f.flat = flatten(f.trees, f.cfg.Tree.Mode)
+	if d := time.Since(fitStart).Seconds(); d > 0 {
+		gFitRowsPerSec.Set(float64(n) / d)
+	}
 	return nil
 }
 
@@ -159,12 +175,16 @@ func (f *RandomForest) PredictBatch(X [][]float64) []float64 {
 // one output buffer. Blocks of rows are predicted on up to cfg.Workers
 // goroutines; small batches run inline and allocation-free.
 func (f *RandomForest) PredictBatchInto(dst []float64, X [][]float64) {
+	start := time.Now()
 	if f.flat != nil {
 		f.flat.predictBlocked(X, dst[:len(X)], f.cfg.Workers)
-		return
+	} else {
+		for i := range X {
+			dst[i] = f.Predict(X[i])
+		}
 	}
-	for i := range X {
-		dst[i] = f.Predict(X[i])
+	if d := time.Since(start).Seconds(); d > 0 {
+		gPredictRowsPerSec.Set(float64(len(X)) / d)
 	}
 }
 

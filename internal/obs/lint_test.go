@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lintScript(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "scripts", "lintobs.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("lint script missing: %v", err)
+	}
+	return p
+}
+
+// TestLintCleanTree runs the lint against the repository's real
+// internal/ tree: the shipped library packages must be free of raw
+// print/log calls.
+func TestLintCleanTree(t *testing.T) {
+	out, err := exec.Command("sh", lintScript(t)).CombinedOutput()
+	if err != nil {
+		t.Fatalf("lint fails on the shipped tree: %v\n%s", err, out)
+	}
+}
+
+// TestLintCatchesViolations proves the lint actually bites: a library
+// file with fmt.Println and log.Fatalf must fail, test files and the
+// explicit escape comment must not.
+func TestLintCatchesViolations(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "core")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := `package core
+
+import (
+	"fmt"
+	"log"
+)
+
+func f() {
+	fmt.Println("raw")
+	log.Fatalf("raw %d", 1)
+}
+`
+	if err := os.WriteFile(filepath.Join(sub, "bad.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("sh", lintScript(t), dir).CombinedOutput()
+	if err == nil {
+		t.Fatalf("lint passed a violating file:\n%s", out)
+	}
+	if !strings.Contains(string(out), "bad.go") {
+		t.Errorf("lint output does not name the offending file:\n%s", out)
+	}
+
+	// Test files are exempt.
+	if err := os.Rename(filepath.Join(sub, "bad.go"), filepath.Join(sub, "bad_test.go")); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command("sh", lintScript(t), dir).CombinedOutput(); err != nil {
+		t.Fatalf("lint rejected a _test.go file: %v\n%s", err, out)
+	}
+
+	// The escape comment allows a deliberate exception.
+	allowed := `package core
+
+import "fmt"
+
+func f() {
+	fmt.Println("intentional") // lint:allow-raw-print
+}
+`
+	if err := os.WriteFile(filepath.Join(sub, "allowed.go"), []byte(allowed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command("sh", lintScript(t), dir).CombinedOutput(); err != nil {
+		t.Fatalf("lint rejected an escaped line: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Manifest is the auditable record of one CLI run, written as run.json
+// next to the run's outputs: what was run (command, args, resolved flag
+// values, seed, Go version), when, how it ended, and the final metric
+// and stage-latency snapshots. An operator can reconstruct — days later
+// — which corner grid a sweep covered, how many retries it burned, and
+// where its hours went, without having kept the terminal output.
+type Manifest struct {
+	Command     string            `json:"command"`
+	Args        []string          `json:"args"`
+	Config      map[string]string `json:"config"`
+	Seed        int64             `json:"seed"`
+	GoVersion   string            `json:"go_version"`
+	Hostname    string            `json:"hostname,omitempty"`
+	Pid         int               `json:"pid"`
+	Start       time.Time         `json:"start"`
+	End         time.Time         `json:"end"`
+	DurationSec float64           `json:"duration_sec"`
+	ExitCode    int               `json:"exit_code"`
+	Interrupted bool              `json:"interrupted,omitempty"`
+	DebugAddr   string            `json:"debug_addr,omitempty"`
+	CPUProfile  string            `json:"cpu_profile,omitempty"`
+	MemProfile  string            `json:"mem_profile,omitempty"`
+	// Notes carries per-command extras (e.g. the final sweep report).
+	Notes   map[string]any   `json:"notes,omitempty"`
+	Metrics RegistrySnapshot `json:"metrics"`
+	Stages  []StageStat      `json:"stages"`
+}
+
+// write finalizes the snapshots and writes the manifest atomically
+// (temp file + rename), so a crash mid-write cannot leave a truncated
+// run.json masquerading as a complete record.
+func (m *Manifest) write(path string) error {
+	m.End = time.Now()
+	m.DurationSec = m.End.Sub(m.Start).Seconds()
+	m.Metrics = DefaultSnapshot()
+	m.Stages = Stages()
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding run manifest: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".run-*.json.tmp")
+	if err != nil {
+		return fmt.Errorf("obs: writing run manifest: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: writing run manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: writing run manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: writing run manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"strings"
+	"testing"
+)
+
+func resetLogging(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := SetupLogging("info", "text", os.Stderr); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(\"loud\"): no error")
+	}
+}
+
+func TestSetupLoggingRejectsBadFlags(t *testing.T) {
+	resetLogging(t)
+	if err := SetupLogging("loud", "text", nil); err == nil {
+		t.Error("bad level accepted")
+	}
+	if err := SetupLogging("info", "xml", nil); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestLoggingLevelAndComponent(t *testing.T) {
+	resetLogging(t)
+	var buf bytes.Buffer
+	if err := SetupLogging("warn", "text", &buf); err != nil {
+		t.Fatal(err)
+	}
+	log := Logger("testcomp")
+	log.Info("hidden")
+	log.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn threshold:\n%s", out)
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "component=testcomp") {
+		t.Errorf("warn line or component tag missing:\n%s", out)
+	}
+}
+
+func TestLoggingJSONFormat(t *testing.T) {
+	resetLogging(t)
+	var buf bytes.Buffer
+	if err := SetupLogging("info", "json", &buf); err != nil {
+		t.Fatal(err)
+	}
+	Logger("j").Info("hello", "k", 1)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["component"] != "j" {
+		t.Errorf("unexpected record: %v", rec)
+	}
+}

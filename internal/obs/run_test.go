@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	err := fs.Parse([]string{
+		"-log-level", "debug", "-log-format", "json",
+		"-debug-addr", "127.0.0.1:0", "-run-json", "x.json",
+		"-cpuprofile", "c.prof", "-memprofile", "m.prof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LogLevel != "debug" || f.LogFormat != "json" || f.DebugAddr != "127.0.0.1:0" ||
+		f.RunJSON != "x.json" || f.CPUProfile != "c.prof" || f.MemProfile != "m.prof" {
+		t.Fatalf("flags not bound: %+v", f)
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	resetLogging(t)
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	manifest := filepath.Join(dir, "run.json")
+	cpu := filepath.Join(dir, "cpu.prof")
+	if err := fs.Parse([]string{
+		"-run-json", manifest, "-cpuprofile", cpu, "-debug-addr", "127.0.0.1:0",
+		"-log-level", "error",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	progress := func() any { return map[string]any{"status": "running"} }
+	run, err := f.Start("obstest", 42, progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.DebugAddr() == "" {
+		t.Fatal("DebugAddr empty with -debug-addr set")
+	}
+	resp, err := http.Get("http://" + run.DebugAddr() + "/progress")
+	if err != nil {
+		t.Fatalf("debug endpoint not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	run.Note("rows", 7)
+	run.SetInterrupted()
+	if err := run.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatalf("second Close not idempotent: %v", err)
+	}
+
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not JSON: %v\n%s", err, data)
+	}
+	if m.Command != "obstest" || m.Seed != 42 {
+		t.Errorf("command/seed = %q/%d, want obstest/42", m.Command, m.Seed)
+	}
+	if m.GoVersion == "" || m.Pid == 0 {
+		t.Errorf("go_version/pid missing: %+v", m)
+	}
+	if m.Config["log-level"] != "error" {
+		t.Errorf("config does not record resolved flags: %v", m.Config)
+	}
+	if !m.Interrupted {
+		t.Error("Interrupted not recorded")
+	}
+	if m.Notes["rows"] != float64(7) {
+		t.Errorf("notes.rows = %v, want 7", m.Notes["rows"])
+	}
+	if m.End.Before(m.Start) || m.DurationSec < 0 {
+		t.Errorf("bad timestamps: start %v end %v", m.Start, m.End)
+	}
+	if m.DebugAddr == "" {
+		t.Error("debug_addr missing from manifest")
+	}
+	if _, err := os.Stat(cpu); err != nil {
+		t.Errorf("CPU profile not flushed by Close: %v", err)
+	}
+}
+
+func TestRunNoManifest(t *testing.T) {
+	resetLogging(t)
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-run-json", ""}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := f.Start("obstest", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("run.json"); err == nil {
+		t.Error("run.json written despite -run-json \"\"")
+	}
+}
+
+func TestRunBadLogLevel(t *testing.T) {
+	resetLogging(t)
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "loud"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Start("obstest", 0, nil); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanAggregates(t *testing.T) {
+	resetStagesForTest()
+	for i := 0; i < 3; i++ {
+		_, end := Span(context.Background(), "test.stage")
+		time.Sleep(time.Millisecond)
+		end()
+	}
+	stages := Stages()
+	var st *StageStat
+	for i := range stages {
+		if stages[i].Name == "test.stage" {
+			st = &stages[i]
+		}
+	}
+	if st == nil {
+		t.Fatalf("test.stage missing from Stages(): %+v", stages)
+	}
+	if st.Count != 3 {
+		t.Errorf("Count = %d, want 3", st.Count)
+	}
+	if st.TotalMS < 3 {
+		t.Errorf("TotalMS = %v, want >= 3 (3 × 1ms sleeps)", st.TotalMS)
+	}
+	if st.MaxMS > st.TotalMS || st.MeanMS > st.MaxMS {
+		t.Errorf("inconsistent aggregates: mean %v, max %v, total %v", st.MeanMS, st.MaxMS, st.TotalMS)
+	}
+}
+
+func TestSpanContextUnchanged(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	out, end := Span(ctx, "test.ctx")
+	end()
+	if out.Value(key{}) != "v" {
+		t.Fatal("Span dropped context values")
+	}
+}
+
+func TestTime(t *testing.T) {
+	resetStagesForTest()
+	end := Time("test.time")
+	end()
+	found := false
+	for _, s := range Stages() {
+		if s.Name == "test.time" && s.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Time() did not record a stage: %+v", Stages())
+	}
+}
+
+func TestStagesSortedByTotal(t *testing.T) {
+	resetStagesForTest()
+	slow := Time("test.slow")
+	time.Sleep(5 * time.Millisecond)
+	slow()
+	fast := Time("test.fast")
+	fast()
+	stages := Stages()
+	if len(stages) != 2 {
+		t.Fatalf("Stages len = %d, want 2", len(stages))
+	}
+	if stages[0].Name != "test.slow" {
+		t.Errorf("Stages not sorted by total desc: %+v", stages)
+	}
+}
+
+func TestStageTable(t *testing.T) {
+	resetStagesForTest()
+	if got := StageTable(); got != "" {
+		t.Fatalf("empty StageTable = %q, want \"\"", got)
+	}
+	Time("test.tbl")()
+	tbl := StageTable()
+	if !strings.Contains(tbl, "test.tbl") || !strings.Contains(tbl, "stage") {
+		t.Fatalf("StageTable missing content:\n%s", tbl)
+	}
+}
+
+// TestSpanConcurrent overlaps spans of the same name from many
+// goroutines; meaningful under -race.
+func TestSpanConcurrent(t *testing.T) {
+	resetStagesForTest()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_, end := Span(context.Background(), "test.conc")
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, s := range Stages() {
+		if s.Name == "test.conc" {
+			if s.Count != 8*200 {
+				t.Fatalf("Count = %d, want %d", s.Count, 8*200)
+			}
+			return
+		}
+	}
+	t.Fatal("test.conc missing from Stages()")
+}

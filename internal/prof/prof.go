@@ -9,14 +9,31 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
-// Start begins CPU profiling to cpuPath (if non-empty) and returns a
-// stop function that ends the CPU profile and writes a heap profile to
-// memPath (if non-empty). Call the stop function exactly once, after the
-// measured work completes; it is safe when both paths are empty (no-op).
-func Start(cpuPath, memPath string) (func() error, error) {
-	var cpuFile *os.File
+// Session is one profiling run. Stop is idempotent, so a CLI can both
+// `defer s.Stop()` (covering every early-return and fatal-error path)
+// and call it explicitly before os.Exit (which skips defers) — the
+// profiles are flushed exactly once either way.
+type Session struct {
+	cpuPath, memPath string
+	cpuFile          *os.File
+	once             sync.Once
+	err              error
+}
+
+// CPUPath returns the CPU profile destination ("" when disabled).
+func (s *Session) CPUPath() string { return s.cpuPath }
+
+// MemPath returns the heap profile destination ("" when disabled).
+func (s *Session) MemPath() string { return s.memPath }
+
+// Start begins CPU profiling to cpuPath (if non-empty). The returned
+// Session's Stop ends the CPU profile and writes a heap profile to
+// memPath (if non-empty); both paths empty makes the session a no-op.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{cpuPath: cpuPath, memPath: memPath}
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
 		if err != nil {
@@ -26,27 +43,36 @@ func Start(cpuPath, memPath string) (func() error, error) {
 			f.Close()
 			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
 		}
-		cpuFile = f
+		s.cpuFile = f
 	}
-	stop := func() error {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				return fmt.Errorf("prof: closing CPU profile: %w", err)
-			}
+	return s, nil
+}
+
+// Stop flushes the profiles. It is safe to call any number of times,
+// from defers and explicit pre-os.Exit paths alike; only the first call
+// does the work, and every call reports its outcome.
+func (s *Session) Stop() error {
+	s.once.Do(func() { s.err = s.stop() })
+	return s.err
+}
+
+func (s *Session) stop() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("prof: closing CPU profile: %w", err)
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return fmt.Errorf("prof: creating heap profile: %w", err)
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile shows live data
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				return fmt.Errorf("prof: writing heap profile: %w", err)
-			}
-		}
-		return nil
 	}
-	return stop, nil
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("prof: creating heap profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: writing heap profile: %w", err)
+		}
+	}
+	return nil
 }

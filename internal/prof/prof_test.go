@@ -1,0 +1,60 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSessionNoOp(t *testing.T) {
+	s, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Stop(); err != nil {
+			t.Fatalf("Stop #%d: %v", i+1, err)
+		}
+	}
+}
+
+func TestSessionWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	s, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CPUPath() != cpu || s.MemPath() != mem {
+		t.Fatalf("paths = %q/%q", s.CPUPath(), s.MemPath())
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: the second Stop must not rewrite or error.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x.prof"), ""); err == nil {
+		t.Fatal("unwritable CPU profile path accepted")
+	}
+}

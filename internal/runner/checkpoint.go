@@ -154,7 +154,11 @@ func (w *checkpointWriter) record(key string, attempts int, value json.RawMessag
 	if _, err := w.f.Write(append(b, '\n')); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	mCkptFlushes.Inc()
+	return nil
 }
 
 func (w *checkpointWriter) close() error { return w.f.Close() }

@@ -32,6 +32,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"tevot/internal/obs"
 )
 
 // Config controls one sweep execution.
@@ -117,6 +119,12 @@ type Report struct {
 	Failures []*CellError
 	// Interrupted reports that the sweep context was cancelled.
 	Interrupted bool
+	// Elapsed is the sweep's wall time.
+	Elapsed time.Duration
+	// SlowestKey/SlowestDur identify the longest-running cell actually
+	// executed this run (resumed cells don't count; "" when none ran).
+	SlowestKey string
+	SlowestDur time.Duration
 }
 
 // Err joins the per-cell failures, or returns nil when every cell
@@ -132,11 +140,19 @@ func (r *Report) Err() error {
 	return errors.Join(errs...)
 }
 
-// Summary renders a one-line (plus per-failure lines) human report.
+// Summary renders a one-line (plus per-failure lines) human report:
+// cell totals, retry spend, wall time, and the slowest cell — the
+// lines the CLIs print at the end of a sweep.
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sweep %q: %d cells — %d ok, %d resumed, %d failed, %d skipped (%d retries)",
 		r.Sweep, r.Total, r.Succeeded, r.Resumed, r.Failed, r.Skipped, r.Retried)
+	if r.Elapsed > 0 {
+		fmt.Fprintf(&b, " in %v", r.Elapsed.Round(time.Millisecond))
+	}
+	if r.SlowestKey != "" {
+		fmt.Fprintf(&b, "\n  slowest cell: %s (%v)", r.SlowestKey, r.SlowestDur.Round(time.Millisecond))
+	}
 	for _, f := range r.Failures {
 		fmt.Fprintf(&b, "\n  FAILED %s after %d attempt(s): %v", f.Key, f.Attempts, f.Err)
 	}
@@ -149,6 +165,7 @@ type cellResult[R any] struct {
 	key      string
 	value    R
 	attempts int
+	dur      time.Duration
 	err      error
 }
 
@@ -160,8 +177,11 @@ type cellResult[R any] struct {
 // in which case the partial results and Report are still returned.
 func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R, *Report, error) {
 	cfg = cfg.withDefaults()
+	start := time.Now()
 	rep := &Report{Sweep: cfg.Name, Total: len(tasks)}
+	defer func() { rep.Elapsed = time.Since(start) }()
 	results := make(map[string]R, len(tasks))
+	log := obs.Logger("runner")
 
 	seen := make(map[string]bool, len(tasks))
 	for _, t := range tasks {
@@ -207,12 +227,31 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 	}
 	if rep.Resumed > 0 {
 		cfg.Logf("resumed %d/%d cells from %s", rep.Resumed, rep.Total, cfg.Checkpoint)
+		log.Info("resumed from checkpoint", "sweep", cfg.Name,
+			"resumed", rep.Resumed, "total", rep.Total, "checkpoint", cfg.Checkpoint)
 	}
 
 	nw := cfg.Workers
 	if nw > len(todo) {
 		nw = len(todo)
 	}
+
+	// Publish the live progress state before the first worker starts so
+	// a /progress poll never races an inconsistent half-sweep.
+	st := &progressState{
+		sweep:       cfg.Name,
+		total:       int64(len(tasks)),
+		workers:     int64(nw),
+		retryBudget: int64(cfg.Retries) * int64(len(todo)),
+		start:       start,
+	}
+	st.resumed.Store(int64(rep.Resumed))
+	liveSweep.Store(st)
+	defer st.finished.Store(true)
+	mCellsTotal.Add(int64(len(tasks)))
+	mCellsResumed.Add(int64(rep.Resumed))
+	log.Debug("sweep starting", "sweep", cfg.Name,
+		"cells", len(tasks), "todo", len(todo), "workers", nw)
 	taskCh := make(chan Task[R])
 	resCh := make(chan cellResult[R])
 	var wg sync.WaitGroup
@@ -221,7 +260,10 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 		go func() {
 			defer wg.Done()
 			for t := range taskCh {
-				resCh <- execute(ctx, cfg, t)
+				st.running.Add(1)
+				r := execute(ctx, cfg, t, st)
+				st.running.Add(-1)
+				resCh <- r
 			}
 		}()
 	}
@@ -243,11 +285,16 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 	var infraErr error
 	for r := range resCh {
 		rep.Retried += r.attempts - 1
+		if r.dur > rep.SlowestDur {
+			rep.SlowestKey, rep.SlowestDur = r.key, r.dur
+		}
 		if r.err != nil {
 			ce := &CellError{Key: r.key, Attempts: r.attempts, Err: r.err}
 			rep.Failed++
 			rep.Failures = append(rep.Failures, ce)
 			cfg.Logf("%v", ce)
+			log.Warn("cell failed", "sweep", cfg.Name, "cell", r.key,
+				"attempts", r.attempts, "err", r.err)
 			continue
 		}
 		results[r.key] = r.value
@@ -260,11 +307,16 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 			if err != nil {
 				infraErr = fmt.Errorf("runner: writing checkpoint %s: %w", cfg.Checkpoint, err)
 				cfg.Logf("%v — continuing without checkpointing", infraErr)
+				log.Error("checkpoint write failed; continuing without checkpointing",
+					"sweep", cfg.Name, "checkpoint", cfg.Checkpoint, "err", err)
 			}
 		}
 	}
 	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].Key < rep.Failures[j].Key })
 	rep.Skipped = rep.Total - rep.Resumed - rep.Succeeded - rep.Failed
+	log.Debug("sweep finished", "sweep", cfg.Name, "ok", rep.Succeeded,
+		"resumed", rep.Resumed, "failed", rep.Failed, "skipped", rep.Skipped,
+		"retries", rep.Retried, "elapsed", time.Since(start).Round(time.Millisecond))
 	if ctx.Err() != nil {
 		rep.Interrupted = true
 		return results, rep, ctx.Err()
@@ -273,22 +325,49 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 }
 
 // execute runs one cell to its final outcome: attempts until success, a
-// permanent failure, retry exhaustion, or cancellation.
-func execute[R any](ctx context.Context, cfg Config, t Task[R]) cellResult[R] {
+// permanent failure, retry exhaustion, or cancellation. The per-cell
+// wall time (across all attempts and backoffs) feeds the cell-latency
+// histogram the /progress ETA is extrapolated from.
+func execute[R any](ctx context.Context, cfg Config, t Task[R], st *progressState) cellResult[R] {
+	start := time.Now()
+	finish := func(r cellResult[R]) cellResult[R] {
+		r.dur = time.Since(start)
+		hCellSeconds.Observe(r.dur.Seconds())
+		st.sumCellNs.Add(r.dur.Nanoseconds())
+		if r.err != nil {
+			st.failed.Add(1)
+			mCellsFailed.Inc()
+		} else {
+			st.done.Add(1)
+			mCellsOK.Inc()
+		}
+		return r
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		mAttempts.Inc()
 		v, err := runAttempt(ctx, cfg, t, attempt)
 		if err == nil {
-			return cellResult[R]{key: t.Key, value: v, attempts: attempt + 1}
+			return finish(cellResult[R]{key: t.Key, value: v, attempts: attempt + 1})
 		}
 		lastErr = err
-		if ctx.Err() != nil || attempt >= cfg.Retries || cfg.Classify(err) != Transient {
-			return cellResult[R]{key: t.Key, attempts: attempt + 1, err: lastErr}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			mPanics.Inc()
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			mTimeouts.Inc()
 		}
+		if ctx.Err() != nil || attempt >= cfg.Retries || cfg.Classify(err) != Transient {
+			return finish(cellResult[R]{key: t.Key, attempts: attempt + 1, err: lastErr})
+		}
+		mRetries.Inc()
+		st.retried.Add(1)
 		d := backoffDelay(cfg, t.Key, attempt)
 		cfg.Logf("cell %s attempt %d failed (%v); retrying in %v", t.Key, attempt+1, err, d)
+		obs.Logger("runner").Debug("retrying cell", "sweep", cfg.Name, "cell", t.Key,
+			"attempt", attempt+1, "backoff", d, "err", err)
 		if !sleepCtx(ctx, d) {
-			return cellResult[R]{key: t.Key, attempts: attempt + 1, err: lastErr}
+			return finish(cellResult[R]{key: t.Key, attempts: attempt + 1, err: lastErr})
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"tevot/internal/cells"
 	"tevot/internal/netlist"
+	"tevot/internal/obs"
 )
 
 // File is an in-memory SDF document.
@@ -34,6 +35,7 @@ type File struct {
 // FromAnnotation builds an SDF document from a netlist and its per-gate
 // delay annotation at a corner.
 func FromAnnotation(nl *netlist.Netlist, corner cells.Corner, delays []float64) (*File, error) {
+	defer obs.Time("sdf.build")()
 	if len(delays) != len(nl.Gates) {
 		return nil, fmt.Errorf("sdf: %d delays for %d gates", len(delays), len(nl.Gates))
 	}

@@ -4,6 +4,11 @@
 # the threshold percentage. Throughput metrics (cycles/s, rows/s) are
 # reported but only ns/op gates, since throughput is derived from it.
 #
+# Benchmarks present on only one side never fail the gate: new ones
+# (added since the baseline) are listed as "new", removed ones as
+# "removed". The comparison exits 2 only when the inputs are unusable
+# (missing files, no benchmarks at all).
+#
 # Usage: sh scripts/benchdiff.sh old.json new.json [threshold-pct]
 set -eu
 if [ $# -lt 2 ]; then
@@ -14,21 +19,35 @@ fi
 python3 - "$1" "$2" "${3:-10}" <<'EOF'
 import json, sys
 
-old = json.load(open(sys.argv[1]))["benchmarks"]
-new = json.load(open(sys.argv[2]))["benchmarks"]
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f).get("benchmarks", {})
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"benchdiff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+old = load(sys.argv[1])
+new = load(sys.argv[2])
 threshold = float(sys.argv[3])
 
-shared = sorted(set(old) & set(new))
-if not shared:
-    print("benchdiff: no shared benchmarks between the two files", file=sys.stderr)
+if not new:
+    print("benchdiff: new run contains no benchmarks", file=sys.stderr)
     sys.exit(2)
 
+shared = sorted(set(old) & set(new))
+added = sorted(set(new) - set(old))
+removed = sorted(set(old) - set(new))
+
 failed = []
+compared = 0
 print(f"{'benchmark':60s} {'old ns/op':>14s} {'new ns/op':>14s} {'delta':>8s}")
 for name in shared:
     o, n = old[name].get("ns/op"), new[name].get("ns/op")
     if not o or n is None:
+        print(f"{name:60s} {'?':>14s} {'?':>14s}        (no ns/op)")
         continue
+    compared += 1
     delta = (n - o) / o * 100
     flag = ""
     if delta > threshold:
@@ -36,13 +55,29 @@ for name in shared:
         flag = "  REGRESSION"
     print(f"{name:60s} {o:14.0f} {n:14.0f} {delta:+7.1f}%{flag}")
 
-for name in sorted(set(new) - set(old)):
-    print(f"{name:60s} {'-':>14s} {new[name].get('ns/op', 0):14.0f}     new")
+for name in added:
+    n = new[name].get("ns/op")
+    shown = f"{n:14.0f}" if n is not None else f"{'?':>14s}"
+    print(f"{name:60s} {'-':>14s} {shown}     new")
+for name in removed:
+    o = old[name].get("ns/op")
+    shown = f"{o:14.0f}" if o is not None else f"{'?':>14s}"
+    print(f"{name:60s} {shown} {'-':>14s}     removed")
 
 if failed:
     print(f"\nbenchdiff: {len(failed)} benchmark(s) regressed more than {threshold:.0f}%:", file=sys.stderr)
     for name, delta in failed:
         print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
     sys.exit(1)
-print(f"\nbenchdiff: ok (no ns/op regression above {threshold:.0f}%)")
+
+notes = []
+if added:
+    notes.append(f"{len(added)} new")
+if removed:
+    notes.append(f"{len(removed)} removed")
+suffix = f"; {', '.join(notes)}" if notes else ""
+if compared == 0:
+    print(f"\nbenchdiff: no shared benchmarks to gate on{suffix} — nothing regressed")
+else:
+    print(f"\nbenchdiff: ok ({compared} compared, no ns/op regression above {threshold:.0f}%{suffix})")
 EOF

@@ -11,9 +11,9 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkCharacterizeParallel|BenchmarkForestPredictBatch|BenchmarkCycle' \
+	-bench 'BenchmarkCharacterizeParallel|BenchmarkForestPredictBatch|BenchmarkCycle|BenchmarkCounterInc|BenchmarkHistogramObserve' \
 	-benchmem -count 1 \
-	./internal/core ./internal/ml ./internal/sim | tee "$tmp"
+	./internal/core ./internal/ml ./internal/sim ./internal/obs | tee "$tmp"
 
 python3 - "$tmp" "$out" <<'EOF'
 import json, re, sys

@@ -11,6 +11,12 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== lint: no raw print/log in library packages"
+sh scripts/lintobs.sh
+
+echo "== observability smoke: -debug-addr endpoint + run manifest"
+go test -run 'TestDebugEndpointSmoke' ./cmd/tevot-sweep
+
 echo "== determinism: sharded DTA bit-identity + singleflight (race)"
 go test -race -short -run \
 	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \

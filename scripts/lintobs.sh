@@ -1,0 +1,23 @@
+#!/bin/sh
+# Library packages must log through internal/obs (log/slog) so every
+# line respects -log-level/-log-format and lands in the structured
+# stream — not through raw fmt.Print*/log.Print*, which bypass both and
+# (for log.Fatal*) skip profile flushing and the run manifest. CLIs
+# (cmd/) and examples/ own their stdout and are exempt; so are tests.
+#
+# Usage: sh scripts/lintobs.sh [dir]   (default: the repo's internal/)
+# Escape hatch for a deliberate exception: put `lint:allow-raw-print`
+# in a comment on the offending line.
+set -eu
+dir="${1:-$(cd "$(dirname "$0")/.." && pwd)/internal}"
+
+pattern='(fmt\.Print(ln|f)?|log\.(Print(ln|f)?|Fatal(ln|f)?|Panic(ln|f)?))\('
+bad="$(grep -rnE --include='*.go' --exclude='*_test.go' "$pattern" "$dir" \
+	| grep -v 'lint:allow-raw-print' || true)"
+
+if [ -n "$bad" ]; then
+	echo "$bad"
+	echo "lintobs: raw print/log calls in library packages — use internal/obs (slog) instead" >&2
+	exit 1
+fi
+echo "lintobs: ok ($dir)"
