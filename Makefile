@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json fuzz
+.PHONY: build test check bench bench-json fuzz serve
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,16 @@ bench:
 # them to BENCH_dta.json; compare two baselines with scripts/benchdiff.sh.
 bench-json:
 	sh scripts/benchjson.sh BENCH_dta.json
+
+# Boot the hardened prediction service on :8080, training and saving
+# the model first if MODEL does not exist yet. Override with e.g.
+#   make serve MODEL=models/FP_MUL.tevot SERVE_ADDR=:9090
+MODEL ?= models/INT_ADD.tevot
+SERVE_ADDR ?= :8080
+serve:
+	@test -f $(MODEL) || $(GO) run ./cmd/tevot-train \
+		-fu $(basename $(notdir $(MODEL))) -savemodels $(dir $(MODEL))
+	$(GO) run ./cmd/tevot-serve -model $(MODEL) -addr $(SERVE_ADDR)
 
 # Short active fuzzing pass over every parser fuzz target.
 fuzz:

@@ -5,7 +5,7 @@
 // (optionally dumping a VCD), and prints the dynamic-delay statistics.
 //
 // The characterization itself runs as a cell on the fault-tolerant
-// runner, so a -task-timeout deadline or Ctrl-C cancels it cleanly, and
+// runner, so a -task-timeout deadline, Ctrl-C, or SIGTERM cancels it cleanly, and
 // -checkpoint/-resume replay a completed analysis without re-simulating.
 // Artifact writes (-sdf, -vcd, -lib) are plain file I/O and stay
 // fail-fast.

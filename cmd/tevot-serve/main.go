@@ -1,0 +1,130 @@
+// Command tevot-serve is the hardened online prediction service: it
+// loads a trained model gob (tevot-train -savemodels) and serves
+// per-cycle delay and timing-error predictions over HTTP with the
+// failure modes of a production predictor handled explicitly —
+// admission control with load shedding, per-request deadlines, panic
+// isolation, graceful drain on SIGINT/SIGTERM, and validated model
+// hot-reload on SIGHUP or POST /admin/reload.
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 once draining)
+//	POST /v1/predict    {"voltage","temperature","pairs","clocks"}
+//	POST /admin/reload  {"path"} (optional; defaults to -model)
+//
+// Example:
+//
+//	tevot-train -fu INT_ADD -savemodels models
+//	tevot-serve -model models/INT_ADD.tevot -addr :8080
+//	curl -s localhost:8080/v1/predict -d '{"voltage":0.9,"temperature":25,
+//	  "pairs":[{"a":1,"b":2},{"a":3,"b":4}],"clocks":[700]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tevot/internal/core"
+	"tevot/internal/obs"
+	"tevot/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tevot-serve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (\":0\" picks a port)")
+		modelPath = flag.String("model", "", "trained model gob from tevot-train -savemodels (required)")
+		workers   = flag.Int("workers", 0, "inference worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth; a full queue sheds with 429")
+		reqTO     = flag.Duration("req-timeout", 5*time.Second, "server-side per-request deadline; expiry answers 503")
+		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes; larger bodies answer 413")
+		maxPairs  = flag.Int("max-pairs", 4097, "operand pairs per request cap")
+	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	// The /progress payload source outlives server construction, so it
+	// indirects through a pointer installed once serve.New succeeds.
+	var srvPtr atomic.Pointer[serve.Server]
+	progress := func() any {
+		if s := srvPtr.Load(); s != nil {
+			return s.Progress()
+		}
+		return map[string]any{"status": "starting"}
+	}
+	run, err := obsFlags.Start("tevot-serve", 0, progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Close()
+
+	if *modelPath == "" {
+		run.Fatal("-model is required (train one with: tevot-train -savemodels <dir>)")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		run.Fatal(err)
+	}
+	model, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		run.Fatalf("loading %s: %v", *modelPath, err)
+	}
+
+	s, err := serve.New(serve.Config{
+		Addr:           *addr,
+		Model:          model,
+		ModelPath:      *modelPath,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTO,
+		DrainTimeout:   *drainTO,
+		MaxBodyBytes:   *maxBody,
+		MaxPairs:       *maxPairs,
+	})
+	if err != nil {
+		run.Fatal(err)
+	}
+	srvPtr.Store(s)
+
+	// SIGINT/SIGTERM start the graceful drain; SIGHUP hot-reloads the
+	// model from -model through the same validated path as /admin/reload.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if gen, err := s.Reload(""); err != nil {
+				run.Log.Error("SIGHUP reload rejected; still serving the old model", "err", err)
+			} else {
+				run.Log.Info("SIGHUP reload complete", "generation", gen)
+			}
+		}
+	}()
+
+	err = s.ListenAndServe(ctx)
+	run.Note("serving", s.Progress())
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// In-flight requests outlived the drain deadline and were cut;
+			// the manifest records the run as interrupted rather than clean.
+			run.SetInterrupted()
+			run.Log.Warn("drain forced after deadline")
+			run.Exit(1)
+		}
+		run.Fatal(err)
+	}
+	run.Exit(0)
+}

@@ -6,7 +6,7 @@
 // The sweep runs on the fault-tolerant runner: cells execute on a
 // bounded worker pool, a panicking or failing cell is reported and
 // skipped instead of killing the run, and -checkpoint/-resume let an
-// interrupted sweep (Ctrl-C is caught and flushed) pick up where it
+// interrupted sweep (SIGINT and SIGTERM are caught and flushed) pick up where it
 // left off.
 //
 // Examples:

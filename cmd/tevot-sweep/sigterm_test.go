@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSigtermFlushesCheckpointAndManifest kills a running sweep with
+// SIGTERM — the signal an orchestrator (systemd, Kubernetes, a batch
+// scheduler) actually sends, as opposed to an interactive Ctrl-C — and
+// verifies the shutdown contract: exit code 130, every completed cell
+// durably in the JSONL checkpoint, and a run manifest marked
+// interrupted so the operator knows to -resume.
+func TestSigtermFlushesCheckpointAndManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tevot-sweep")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	manifest := filepath.Join(dir, "run.json")
+	// The full grid at -workers 1 runs long enough that SIGTERM lands
+	// mid-sweep with cells both completed and still pending.
+	cmd := exec.Command(bin,
+		"-fu", "INT_ADD", "-grid", "-cycles", "1500", "-workers", "1",
+		"-checkpoint", ckpt, "-run-json", manifest, "-seed", "11",
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait until at least two cells have checkpointed (header + 2 lines),
+	// so the flush assertion below is about real progress, not an empty
+	// file.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if data, err := os.ReadFile(ckpt); err == nil &&
+			strings.Count(string(data), "\n") >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep produced no checkpointed cells in time")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sweep did not exit after SIGTERM")
+	}
+	ee, ok := waitErr.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("exit after SIGTERM = %v, want exit code 130", waitErr)
+	}
+
+	// Every checkpoint line must parse: a valid header followed by
+	// complete cell records — a torn final line would mean the flush
+	// raced the exit.
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	entries := 0
+	for lineNo := 0; sc.Scan(); lineNo++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if lineNo == 0 {
+			var hdr struct {
+				Format string `json:"format"`
+			}
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Format != "tevot-checkpoint" {
+				t.Fatalf("checkpoint header invalid: %v: %s", err, line)
+			}
+			continue
+		}
+		var e struct {
+			Key   string          `json:"key"`
+			Value json.RawMessage `json:"value"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("checkpoint line %d not valid JSON after SIGTERM: %v: %s", lineNo, err, line)
+		}
+		if e.Key == "" || len(e.Value) == 0 {
+			t.Fatalf("checkpoint line %d incomplete: %s", lineNo, line)
+		}
+		entries++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if entries < 2 {
+		t.Fatalf("checkpoint holds %d cells, want >= 2", entries)
+	}
+
+	// The manifest must have been finalized on the signal path.
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("run manifest not written after SIGTERM: %v", err)
+	}
+	var m struct {
+		Command     string `json:"command"`
+		Interrupted bool   `json:"interrupted"`
+		ExitCode    int    `json:"exit_code"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest not JSON: %v\n%s", err, raw)
+	}
+	if m.Command != "tevot-sweep" || !m.Interrupted || m.ExitCode != 130 {
+		t.Errorf("manifest = command %q interrupted %v exit %d, want tevot-sweep/true/130",
+			m.Command, m.Interrupted, m.ExitCode)
+	}
+}

@@ -125,6 +125,43 @@ func (m *Model) PredictErrors(corner cells.Corner, s *workload.Stream, tclk floa
 	return out, nil
 }
 
+// Dim returns the model's feature-vector width (features.Dim with
+// history, features.DimNH without). Callers that manage their own
+// scratch buffers — the serving worker pool — size rows with it.
+func (m *Model) Dim() int { return m.dim }
+
+// PredictDelaysPairsInto is the zero-allocation serving path: it
+// predicts the dynamic delay of cycle i (pairs[i+1] applied after
+// pairs[i]) for i in [0, len(pairs)-1), writing into dst. X is caller
+// scratch of at least len(pairs)-1 rows, each of width Dim(); row
+// contents are overwritten. Neither dst nor X are retained. The steady
+// state allocates nothing, so a prediction server can hold one buffer
+// set per worker and stay off the garbage collector entirely.
+func (m *Model) PredictDelaysPairsInto(dst []float64, X [][]float64, corner cells.Corner, pairs []workload.OperandPair) error {
+	n := len(pairs) - 1
+	if n < 1 {
+		return fmt.Errorf("core: need at least 2 operand pairs, got %d", len(pairs))
+	}
+	if len(dst) < n {
+		return fmt.Errorf("core: dst holds %d delays, need %d", len(dst), n)
+	}
+	if len(X) < n {
+		return fmt.Errorf("core: scratch holds %d rows, need %d", len(X), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(X[i]) != m.dim {
+			return fmt.Errorf("core: scratch row %d has width %d, model wants %d", i, len(X[i]), m.dim)
+		}
+		if m.History {
+			features.VectorInto(X[i], corner, pairs[i+1], pairs[i])
+		} else {
+			features.VectorNHInto(X[i], corner, pairs[i+1])
+		}
+	}
+	m.forest.PredictBatchInto(dst[:n], X[:n])
+	return nil
+}
+
 // PredictDelays estimates the dynamic delay of every cycle of a stream.
 func (m *Model) PredictDelays(corner cells.Corner, s *workload.Stream) ([]float64, error) {
 	if s.Len() < 2 {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -130,6 +132,32 @@ func TestLoadModelBitFlips(t *testing.T) {
 		if _, err := m.PredictDelays(cells.Corner{V: 0.9, T: 25}, workload.RandomInt(32, 5)); err != nil {
 			t.Logf("trial %d: corrupted-but-valid model errored on predict: %v", trial, err)
 		}
+	}
+}
+
+// endlessZeros yields zero bytes forever — the body of a crafted gob
+// stream whose message header claims an absurd payload.
+type endlessZeros struct{}
+
+func (endlessZeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// TestLoadModelRejectsOversizedHeader: a stream whose first gob message
+// claims a multi-megabyte header (the /admin/reload bomb shape) must be
+// rejected at the header size cap instead of being read without bound.
+func TestLoadModelRejectsOversizedHeader(t *testing.T) {
+	claim := uint32(16 << 20)
+	header := []byte{0xFC, byte(claim >> 24), byte(claim >> 16), byte(claim >> 8), byte(claim)}
+	_, err := LoadModel(io.MultiReader(bytes.NewReader(header), endlessZeros{}))
+	if err == nil {
+		t.Fatal("LoadModel accepted an oversized header stream")
+	}
+	if !errors.Is(err, errModelHeaderTooLarge) {
+		t.Fatalf("err = %v, want the header size-cap error", err)
 	}
 }
 

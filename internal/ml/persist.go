@@ -2,6 +2,7 @@ package ml
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -32,6 +33,63 @@ type forestDTO struct {
 }
 
 const forestFormatVersion = 1
+
+// Decode-side resource caps. Model files come over trust boundaries —
+// shipped checkpoints, operator uploads, and tevot-serve's /admin/reload
+// endpoint — so the loader must bound what a hostile stream can make it
+// allocate. MaxForestBytes caps the bytes the gob decoder may consume
+// (gob's own claimed-length-vs-input check then bounds any single slice
+// allocation to the same budget); the count caps below reject forests
+// that are structurally absurd even when they fit the byte budget.
+const (
+	// MaxForestBytes is the largest serialized forest LoadForest will
+	// read. The paper's 10-tree regression forests are a few MiB; 64 MiB
+	// leaves two orders of magnitude of headroom.
+	MaxForestBytes int64 = 64 << 20
+	// maxForestTrees bounds the ensemble size on load.
+	maxForestTrees = 4096
+	// maxForestNodes bounds the total node count across the ensemble.
+	maxForestNodes = 8 << 20
+)
+
+// errForestTooLarge reports a stream that ran past MaxForestBytes.
+var errForestTooLarge = fmt.Errorf("ml: serialized forest exceeds the %d MiB size cap", MaxForestBytes>>20)
+
+// cappedReader fails any read past its budget, so a decoder driven by a
+// decompression-bomb-style stream stops at the cap instead of
+// allocating without bound. It implements io.ByteReader so gob does not
+// wrap it in a bufio.Reader: the forest is the tail of a chained model
+// stream, and readahead past it would corrupt any decoder that follows.
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+	errCap    error
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, c.errCap
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.r.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}
+
+func (c *cappedReader) ReadByte() (byte, error) {
+	var b [1]byte
+	for {
+		n, err := c.Read(b[:])
+		if n == 1 {
+			return b[0], nil
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
 
 func (t *DecisionTree) toDTO() treeDTO {
 	dto := treeDTO{Cfg: t.cfg, Classes: t.classes, Nodes: make([]nodeDTO, len(t.nodes)), Importance: t.importance}
@@ -79,8 +137,10 @@ func (f *RandomForest) Save(w io.Writer) error {
 
 // LoadForest deserializes a forest saved with Save. Corrupted input
 // yields an error, never a panic: gob's panics on malformed streams are
-// recovered, and the decoded trees are structurally validated so a
-// damaged forest cannot send Predict out of range or into a cycle.
+// recovered, the stream is capped at MaxForestBytes so a hostile input
+// cannot drive unbounded allocation, and the decoded trees are
+// structurally validated (node/tree count caps, child-index ordering)
+// so a damaged forest cannot send Predict out of range or into a cycle.
 func LoadForest(r io.Reader) (f *RandomForest, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -88,7 +148,11 @@ func LoadForest(r io.Reader) (f *RandomForest, err error) {
 		}
 	}()
 	var dto forestDTO
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+	cr := &cappedReader{r: r, remaining: MaxForestBytes, errCap: errForestTooLarge}
+	if err := gob.NewDecoder(cr).Decode(&dto); err != nil {
+		if errors.Is(err, errForestTooLarge) {
+			return nil, errForestTooLarge
+		}
 		return nil, fmt.Errorf("ml: decoding forest: %w", err)
 	}
 	if dto.Version != forestFormatVersion {
@@ -96,6 +160,16 @@ func LoadForest(r io.Reader) (f *RandomForest, err error) {
 	}
 	if len(dto.Trees) == 0 {
 		return nil, fmt.Errorf("ml: saved forest has no trees")
+	}
+	if len(dto.Trees) > maxForestTrees {
+		return nil, fmt.Errorf("ml: saved forest has %d trees (cap %d)", len(dto.Trees), maxForestTrees)
+	}
+	totalNodes := 0
+	for _, td := range dto.Trees {
+		totalNodes += len(td.Nodes)
+	}
+	if totalNodes > maxForestNodes {
+		return nil, fmt.Errorf("ml: saved forest has %d nodes (cap %d)", totalNodes, maxForestNodes)
 	}
 	f = &RandomForest{cfg: dto.Cfg, trees: make([]*DecisionTree, len(dto.Trees))}
 	for i, td := range dto.Trees {

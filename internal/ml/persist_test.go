@@ -2,6 +2,10 @@ package ml
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"strings"
 	"testing"
 )
 
@@ -61,5 +65,52 @@ func TestSaveUnfittedForestFails(t *testing.T) {
 func TestLoadForestRejectsGarbage(t *testing.T) {
 	if _, err := LoadForest(bytes.NewReader([]byte{1, 2, 3})); err == nil {
 		t.Fatal("LoadForest accepted garbage")
+	}
+}
+
+// zeroReader yields zero bytes forever — the body of a crafted gob
+// stream whose message header claims an absurd payload.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestLoadForestRejectsOversizedStream(t *testing.T) {
+	// A gob message header claiming MaxForestBytes+1 bytes (uvarint:
+	// -4 marker then 4 big-endian bytes), followed by an endless body.
+	// The loader must stop at the byte cap, not read (or allocate)
+	// without bound.
+	claim := uint32(MaxForestBytes + 1)
+	header := []byte{0xFC, byte(claim >> 24), byte(claim >> 16), byte(claim >> 8), byte(claim)}
+	_, err := LoadForest(io.MultiReader(bytes.NewReader(header), zeroReader{}))
+	if err == nil {
+		t.Fatal("LoadForest accepted an oversized stream")
+	}
+	if !errors.Is(err, errForestTooLarge) {
+		t.Fatalf("err = %v, want the size-cap error", err)
+	}
+}
+
+func TestLoadForestRejectsAbsurdTreeCount(t *testing.T) {
+	// A structurally valid DTO with more trees than any real ensemble:
+	// it fits the byte budget, so the count cap must reject it.
+	dto := forestDTO{Version: forestFormatVersion, Trees: make([]treeDTO, maxForestTrees+1)}
+	for i := range dto.Trees {
+		dto.Trees[i] = treeDTO{Nodes: []nodeDTO{{Feature: -1}}}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadForest(&buf)
+	if err == nil {
+		t.Fatal("LoadForest accepted a forest over the tree-count cap")
+	}
+	if !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("err = %v, want a count-cap error", err)
 	}
 }

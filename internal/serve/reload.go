@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"tevot/internal/cells"
+	"tevot/internal/core"
+	"tevot/internal/obs"
+	"tevot/internal/workload"
+)
+
+// Hot-reload: the new gob is decoded into a side buffer (core.LoadModel
+// under its size caps), validated against the serving model, probed for
+// finite predictions, and only then swapped in atomically. Failure at
+// any step leaves the old model serving untouched — a corrupt,
+// truncated, or wrong-unit file can cost a 4xx on /admin/reload, never
+// an outage.
+
+// Reload loads, validates, and swaps in the model at path (""  means
+// the path of the current model). It returns the new generation.
+// Concurrent reloads serialize; predicts never block on a reload.
+func (s *Server) Reload(path string) (int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	log := obs.Logger("serve")
+	cur := s.state.Load()
+	if path == "" {
+		path = cur.path
+	}
+	if path == "" {
+		mReloadBad.Inc()
+		return 0, fmt.Errorf("serve: no model path to reload from")
+	}
+	next, err := loadAndValidate(path, cur.model)
+	if err != nil {
+		mReloadBad.Inc()
+		log.Error("model reload rejected; keeping current model",
+			"path", path, "generation", cur.generation, "err", err)
+		return 0, err
+	}
+	st := &modelState{model: next, generation: cur.generation + 1, path: path, loaded: time.Now()}
+	s.state.Store(st)
+	gGeneration.Set(float64(st.generation))
+	mReloadOK.Inc()
+	log.Info("model hot-reloaded", "path", path, "generation", st.generation,
+		"fu", next.FU.String(), "dim", next.Dim())
+	return st.generation, nil
+}
+
+// loadAndValidate decodes the candidate into a side buffer and runs the
+// compatibility and sanity gates against the serving model.
+func loadAndValidate(path string, serving *core.Model) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening model: %w", err)
+	}
+	defer f.Close()
+	m, err := core.LoadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decoding model: %w", err)
+	}
+	if m.FU != serving.FU {
+		return nil, fmt.Errorf("serve: model is for %v, server is serving %v", m.FU, serving.FU)
+	}
+	if m.Dim() != serving.Dim() {
+		return nil, fmt.Errorf("serve: model dimension %d != serving dimension %d (history mismatch?)", m.Dim(), serving.Dim())
+	}
+	if err := probeModel(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// probeModel runs a deterministic probe batch through the candidate at
+// two grid corners and requires every prediction to come back finite —
+// the cheap end-to-end proof that the decoded forest actually predicts
+// before it is allowed to serve traffic. A panic during the probe is a
+// rejection, not a crash.
+func probeModel(m *core.Model) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: model probe panicked: %v", p)
+		}
+	}()
+	pairs := workload.Random(m.FU.IsFloat(), 9, 12345).Pairs
+	n := len(pairs) - 1
+	dim := m.Dim()
+	backing := make([]float64, n*dim)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	delays := make([]float64, n)
+	for _, corner := range []cells.Corner{{V: 0.90, T: 25}, {V: 0.72, T: 75}} {
+		if err := m.PredictDelaysPairsInto(delays, rows, corner, pairs); err != nil {
+			return fmt.Errorf("serve: model probe at %v failed: %w", corner, err)
+		}
+		for i, d := range delays {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return fmt.Errorf("serve: model probe at %v predicted delay[%d] = %v", corner, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// handleReload is POST /admin/reload with an optional JSON body
+// {"path": "..."}; an empty body reloads the current model path.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var body struct {
+		Path string `json:"path"`
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 4096)
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "malformed_json", err.Error())
+		return
+	}
+	gen, err := s.Reload(body.Path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "reload_failed", err.Error())
+		return
+	}
+	st := s.state.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "reloaded",
+		"model_generation": gen,
+		"path":             st.path,
+	})
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"tevot/internal/workload"
+)
+
+// The wire format. One predict request evaluates one operating corner
+// over a batch of consecutive operand pairs; cycle i applies pairs[i+1]
+// after pairs[i], so len(pairs)-1 delays come back, plus an error
+// verdict vector (and TER) per requested clock period — the paper's
+// Eq. 2 reuse of one trained model across clock speeds.
+//
+//	POST /v1/predict
+//	{
+//	  "voltage": 0.81,
+//	  "temperature": 45,
+//	  "pairs": [{"a": 3735928559, "b": 195894762}, {"a": 1, "b": 2}],
+//	  "clocks": [650, 700]
+//	}
+type predictRequest struct {
+	Voltage     float64               `json:"voltage"`
+	Temperature float64               `json:"temperature"`
+	Pairs       []workload.OperandPair `json:"pairs"`
+	Clocks      []float64             `json:"clocks,omitempty"`
+}
+
+type predictResponse struct {
+	FU              string        `json:"fu"`
+	ModelGeneration int64         `json:"model_generation"`
+	Delays          []float64     `json:"delays"`
+	Clocks          []clockResult `json:"clocks,omitempty"`
+}
+
+type clockResult struct {
+	ClockPs float64 `json:"clock_ps"`
+	Errors  []bool  `json:"errors"`
+	TER     float64 `json:"ter"`
+}
+
+// validate enforces the input contract with messages precise enough for
+// a client to fix the request. NaN/Inf cannot arrive through JSON
+// numbers, but the checks keep the contract honest for any future
+// decoder and catch semantic nonsense (negative voltage, zero clock).
+func (r *predictRequest) validate(maxPairs, maxClocks int) error {
+	if !isFinite(r.Voltage) || r.Voltage <= 0 {
+		return fmt.Errorf("voltage must be a finite positive number of volts, got %v", r.Voltage)
+	}
+	if !isFinite(r.Temperature) {
+		return fmt.Errorf("temperature must be a finite number of °C, got %v", r.Temperature)
+	}
+	if len(r.Pairs) < 2 {
+		return fmt.Errorf("need at least 2 operand pairs (cycle i applies pairs[i+1] after pairs[i]), got %d", len(r.Pairs))
+	}
+	if len(r.Pairs) > maxPairs {
+		return fmt.Errorf("batch of %d pairs exceeds the %d-pair cap; split the request", len(r.Pairs), maxPairs)
+	}
+	if len(r.Clocks) > maxClocks {
+		return fmt.Errorf("%d clock periods exceeds the cap of %d", len(r.Clocks), maxClocks)
+	}
+	for i, c := range r.Clocks {
+		if !isFinite(c) || c <= 0 {
+			return fmt.Errorf("clocks[%d] must be a finite positive period in ps, got %v", i, c)
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// apiError is the structured error envelope every non-2xx answer
+// carries: a stable machine-readable code plus a human message.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	var e apiError
+	e.Error.Code = code
+	e.Error.Message = message
+	writeJSON(w, status, e)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past WriteHeader have nowhere to go; the client
+	// sees a truncated body and its decoder reports it.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,422 @@
+// Package serve is the online prediction service for trained TEVoT
+// models: given {V, T, x[t], x[t-1]}, it predicts per-cycle dynamic
+// delays and timing-error verdicts over HTTP — the serving role that
+// runtime DVFS frameworks (FATE; Ajirlou & Partin-Vaisband, see
+// PAPERS.md) assume when a timing-error model gates voltage/frequency
+// decisions online. It is stdlib-only (net/http) and built around the
+// failure modes a production predictor actually meets:
+//
+//   - admission control: a bounded queue feeding a fixed worker pool;
+//     when the queue is full the request is shed immediately with 429 +
+//     Retry-After instead of queueing unboundedly;
+//   - per-request deadlines: the request context carries a server-side
+//     timeout into inference; expiry answers 503;
+//   - strict input hygiene: MaxBytesReader-capped bodies and structured
+//     4xx errors for malformed, non-finite, or wrong-dimension inputs;
+//   - panic isolation: recovery middleware (handler goroutines) and
+//     worker-side recovery keep the process serving after a panic;
+//   - graceful drain: readiness flips to draining, in-flight requests
+//     complete under a drain deadline, workers stop, and the process
+//     exits through obs.Run so manifests and profiles survive;
+//   - validated hot-reload: a new model gob is decoded into a side
+//     buffer, validated (FU/dimension match, finite predictions on a
+//     probe batch), then swapped atomically; a corrupt or truncated gob
+//     never interrupts serving.
+//
+// The inference hot path reuses per-worker feature/delay buffers
+// through core.Model.PredictDelaysPairsInto, so steady-state prediction
+// does not touch the garbage collector.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tevot/internal/cells"
+	"tevot/internal/core"
+	"tevot/internal/obs"
+)
+
+// Serving metrics, published through the obs default registry (expvar
+// "tevot", the run manifest, and -debug-addr /debug/vars). The
+// accounting identity the smoke harness asserts: every /v1/predict
+// request lands in exactly one outcome counter, so
+//
+//	requests == served + shed + timeouts + canceled + bad_requests
+//	            + internal_errors
+//
+// serve.panics counts panic *events* (worker or handler goroutine); a
+// worker panic surfaces to its request as an internal_error, so panics
+// ride alongside the identity rather than inside it.
+var (
+	mRequests  = obs.NewCounter("serve.requests")
+	mServed    = obs.NewCounter("serve.served")
+	mShed      = obs.NewCounter("serve.shed")
+	mTimeouts  = obs.NewCounter("serve.timeouts")
+	mCanceled  = obs.NewCounter("serve.canceled")
+	mBad       = obs.NewCounter("serve.bad_requests")
+	mInternal  = obs.NewCounter("serve.internal_errors")
+	mPanics    = obs.NewCounter("serve.panics")
+	mReloadOK  = obs.NewCounter("serve.reloads_ok")
+	mReloadBad = obs.NewCounter("serve.reloads_failed")
+	mDropped   = obs.NewCounter("serve.jobs_dropped")
+
+	gQueueDepth = obs.NewGauge("serve.queue_depth")
+	gGeneration = obs.NewGauge("serve.model_generation")
+	gDraining   = obs.NewGauge("serve.draining")
+
+	hRequestSec = obs.NewHistogram("serve.request_seconds", []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	})
+)
+
+// Config sizes and parameterizes one prediction server. The zero value
+// of every field has a production-sane default; Model is the only
+// required field.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":0" picks a port).
+	Addr string
+	// Model is the initial trained model. Required.
+	Model *core.Model
+	// ModelPath is the gob file reloads re-read when a reload request
+	// names no path (and the file SIGHUP reloads from).
+	ModelPath string
+	// Workers is the inference worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// sheds with 429 instead of queueing.
+	QueueDepth int
+	// RequestTimeout is the server-side per-request deadline applied to
+	// /v1/predict (default 5s). Expiry answers 503.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 15s): in-flight
+	// requests get this long to finish before connections are closed.
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB); larger bodies
+	// answer 413.
+	MaxBodyBytes int64
+	// MaxPairs caps operand pairs per request (default 4097, i.e. 4096
+	// predicted cycles); larger batches answer 400.
+	MaxPairs int
+	// MaxClocks caps clock periods per request (default 32).
+	MaxClocks int
+
+	// inferHook, when set (tests only), runs in the worker in place of
+	// nothing before inference; its error fails the job. It is how the
+	// deadline and worker-panic failure modes are exercised without
+	// slowing real inference.
+	inferHook func(ctx context.Context) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 4097
+	}
+	if c.MaxClocks <= 0 {
+		c.MaxClocks = 32
+	}
+	return c
+}
+
+// modelState is the atomically-swapped serving state: the model and its
+// reload generation travel under one pointer, so a predict racing a
+// hot-reload always observes a consistent (model, generation) pair —
+// never a torn mix.
+type modelState struct {
+	model      *core.Model
+	generation int64
+	path       string
+	loaded     time.Time
+}
+
+// Server is one prediction service instance.
+type Server struct {
+	cfg   Config
+	state atomic.Pointer[modelState]
+
+	queue    chan *job
+	queueLen atomic.Int64
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	draining atomic.Bool
+	addr     atomic.Pointer[string]
+	reloadMu sync.Mutex
+}
+
+// job is one admitted predict request on its way through the pool.
+type job struct {
+	ctx  context.Context
+	req  *predictRequest
+	done chan jobResult // buffered(1): the worker never blocks on a gone handler
+}
+
+type jobResult struct {
+	resp *predictResponse
+	err  error
+}
+
+// errDraining fails residual queued jobs when the pool stops mid-drain.
+var errDraining = fmt.Errorf("serve: draining")
+
+// New validates cfg, installs the initial model, and starts the worker
+// pool. Pair with Close (or run the full lifecycle via ListenAndServe).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: config needs a model")
+	}
+	s := &Server{
+		cfg:    cfg,
+		queue:  make(chan *job, cfg.QueueDepth),
+		stopCh: make(chan struct{}),
+	}
+	s.state.Store(&modelState{model: cfg.Model, generation: 1, path: cfg.ModelPath, loaded: time.Now()})
+	gGeneration.Set(1)
+	gDraining.Set(0)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	obs.Logger("serve").Info("prediction server ready",
+		"fu", cfg.Model.FU.String(), "dim", cfg.Model.Dim(),
+		"workers", cfg.Workers, "queue", cfg.QueueDepth,
+		"request_timeout", cfg.RequestTimeout)
+	return s, nil
+}
+
+// Addr reports the address ListenAndServe bound ("" before it runs).
+func (s *Server) Addr() string {
+	if p := s.addr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Close stops the worker pool immediately; residual queued jobs fail
+// with 503. Idempotent. ListenAndServe calls it as part of draining;
+// tests that drive Handler directly call it themselves.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+}
+
+// worker owns one set of reusable inference buffers and serves admitted
+// jobs until the pool stops. A panic inside inference fails only that
+// job: the recover below restarts nothing and loses nothing, because
+// buffers are rebuilt lazily and the model pointer is per-job.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var buf workerBuf
+	for {
+		select {
+		case <-s.stopCh:
+			// Fail any jobs still queued so their handlers answer now
+			// instead of hanging until the request deadline.
+			for {
+				select {
+				case j := <-s.queue:
+					s.queueLen.Add(-1)
+					gQueueDepth.Set(float64(s.queueLen.Load()))
+					j.done <- jobResult{err: errDraining}
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.queueLen.Add(-1)
+			gQueueDepth.Set(float64(s.queueLen.Load()))
+			if j.ctx.Err() != nil {
+				// The handler already answered (deadline or client
+				// gone); don't burn inference on it.
+				mDropped.Inc()
+				continue
+			}
+			j.done <- s.inferJob(&buf, j)
+		}
+	}
+}
+
+// inferJob runs one job with panic isolation: a panicking prediction
+// (or test hook) becomes a per-job error, not a dead worker.
+func (s *Server) inferJob(buf *workerBuf, j *job) (res jobResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			mPanics.Inc()
+			obs.Logger("serve").Error("inference panic recovered", "panic", fmt.Sprint(p))
+			res = jobResult{err: fmt.Errorf("serve: inference panic: %v", p)}
+		}
+	}()
+	if s.cfg.inferHook != nil {
+		if err := s.cfg.inferHook(j.ctx); err != nil {
+			return jobResult{err: err}
+		}
+	}
+	st := s.state.Load()
+	resp, err := predict(st, buf, j.req)
+	return jobResult{resp: resp, err: err}
+}
+
+// workerBuf is one worker's reusable inference scratch: feature rows
+// carved from a single backing array plus the delay output, re-carved
+// only when the batch capacity or model dimension changes.
+type workerBuf struct {
+	backing []float64
+	rows    [][]float64
+	delays  []float64
+	dim     int
+}
+
+func (b *workerBuf) ensure(dim, n int) {
+	if b.dim == dim && len(b.rows) >= n {
+		return
+	}
+	if n < len(b.rows) {
+		n = len(b.rows)
+	}
+	b.backing = make([]float64, n*dim)
+	b.rows = make([][]float64, n)
+	for i := range b.rows {
+		b.rows[i] = b.backing[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	b.delays = make([]float64, n)
+	b.dim = dim
+}
+
+// predict is the model evaluation for one validated request.
+func predict(st *modelState, buf *workerBuf, req *predictRequest) (*predictResponse, error) {
+	n := len(req.Pairs) - 1
+	buf.ensure(st.model.Dim(), n)
+	corner := cells.Corner{V: req.Voltage, T: req.Temperature}
+	if err := st.model.PredictDelaysPairsInto(buf.delays, buf.rows, corner, req.Pairs); err != nil {
+		return nil, err
+	}
+	resp := &predictResponse{
+		FU:              st.model.FU.String(),
+		ModelGeneration: st.generation,
+		Delays:          append([]float64(nil), buf.delays[:n]...),
+	}
+	for _, clk := range req.Clocks {
+		cr := clockResult{ClockPs: clk, Errors: make([]bool, n)}
+		bad := 0
+		for i, d := range buf.delays[:n] {
+			if d > clk {
+				cr.Errors[i] = true
+				bad++
+			}
+		}
+		cr.TER = float64(bad) / float64(n)
+		resp.Clocks = append(resp.Clocks, cr)
+	}
+	return resp, nil
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled
+// (SIGINT/SIGTERM in the CLI), then drains gracefully: readiness flips
+// to draining, the listener stops accepting, in-flight requests get
+// DrainTimeout to finish, the worker pool stops, and the method
+// returns — nil on a clean drain so the caller can exit 0 through
+// obs.Run with the manifest intact.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen on %s: %w", s.cfg.Addr, err)
+	}
+	addr := lis.Addr().String()
+	s.addr.Store(&addr)
+	// This line is the smoke harness's (and the operator's) handle on
+	// ":0" runs, exactly like the obs debug endpoint's.
+	obs.Logger("serve").Info("prediction endpoint listening", "addr", "http://"+addr)
+
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// The read/write walls are deliberately wider than
+		// RequestTimeout: the per-request deadline produces a clean 503,
+		// these guard against stuck clients holding connections.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       s.cfg.RequestTimeout + 10*time.Second,
+		WriteTimeout:      s.cfg.RequestTimeout + 10*time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(lis) }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return fmt.Errorf("serve: listener failed: %w", err)
+	case <-ctx.Done():
+	}
+	return s.drain(srv)
+}
+
+// drain is the graceful-shutdown sequence shared by ListenAndServe and
+// the tests that drive it directly.
+func (s *Server) drain(srv *http.Server) error {
+	s.draining.Store(true)
+	gDraining.Set(1)
+	log := obs.Logger("serve")
+	log.Info("draining", "deadline", s.cfg.DrainTimeout, "in_queue", s.queueLen.Load())
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	// Workers stop only after Shutdown returns: on the clean path every
+	// in-flight handler has finished by then, and on the deadline path
+	// residual jobs are failed fast rather than left hanging.
+	s.Close()
+	if err != nil {
+		srv.Close()
+		log.Warn("drain deadline exceeded; connections closed", "err", err)
+		return fmt.Errorf("serve: drain deadline exceeded: %w", err)
+	}
+	log.Info("drained cleanly")
+	return nil
+}
+
+// Progress is the /progress payload source for the obs debug endpoint:
+// a live snapshot of serving state.
+func (s *Server) Progress() any {
+	st := s.state.Load()
+	status := "serving"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return map[string]any{
+		"status":           status,
+		"fu":               st.model.FU.String(),
+		"model_generation": st.generation,
+		"model_path":       st.path,
+		"model_loaded":     st.loaded,
+		"queue_depth":      s.queueLen.Load(),
+		"queue_capacity":   s.cfg.QueueDepth,
+		"workers":          s.cfg.Workers,
+		"served":           mServed.Value(),
+		"shed":             mShed.Value(),
+		"timeouts":         mTimeouts.Value(),
+	}
+}
+
+// Generation reports the current model's reload generation.
+func (s *Server) Generation() int64 { return s.state.Load().generation }

@@ -17,6 +17,12 @@ sh scripts/lintobs.sh
 echo "== observability smoke: -debug-addr endpoint + run manifest"
 go test -run 'TestDebugEndpointSmoke' ./cmd/tevot-sweep
 
+echo "== serve smoke: boot, predict, shed under tiny queue, corrupt reload, SIGTERM drain"
+go test -run 'TestServeAbuseSmoke' ./cmd/tevot-serve
+
+echo "== signal handling: SIGTERM flushes checkpoint + finalizes manifest"
+go test -run 'TestSigtermFlushesCheckpointAndManifest' ./cmd/tevot-sweep
+
 echo "== determinism: sharded DTA bit-identity + singleflight (race)"
 go test -race -short -run \
 	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \
