@@ -67,6 +67,7 @@ func main() {
 
 		workers = flag.Int("workers", 0, "runner worker count (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "simulation shards for the characterization (0 = GOMAXPROCS)")
+		refKern = flag.Bool("ref-kernel", false, "simulate on the reference heap kernel (slow; for auditing the fast kernel)")
 		taskTO  = flag.Duration("task-timeout", 0, "characterization deadline (0 = none), e.g. 5m")
 		retries = flag.Int("retries", 1, "retries for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (replays a completed analysis)")
@@ -147,7 +148,11 @@ func main() {
 		if err := vw.WriteHeader("tevot", "tevot-dta"); err != nil {
 			run.Fatal(err)
 		}
-		r, err := sim.NewRunner(u.NL, static.GateDelay)
+		newR := sim.NewRunner
+		if *refKern {
+			newR = sim.NewRefRunner
+		}
+		r, err := newR(u.NL, static.GateDelay)
 		if err != nil {
 			run.Fatal(err)
 		}
@@ -174,7 +179,7 @@ func main() {
 	defer stop()
 
 	shmooN := *shmoo
-	opts := core.CharacterizeOptions{Workers: *shards}
+	opts := core.CharacterizeOptions{Workers: *shards, RefKernel: *refKern}
 	key := fmt.Sprintf("dta/%s/v%.4f_t%g", fu, corner.V, corner.T)
 	task := runner.Task[dtaResult]{
 		Key: key,

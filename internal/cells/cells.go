@@ -118,6 +118,28 @@ func (k Kind) Eval(in []bool) bool {
 	panic("cells: unknown kind " + k.String())
 }
 
+// LUT returns the cell's truth table packed into a uint8: bit m holds
+// the output for the input assignment where input pin j carries bit j
+// of m. Masks with bits above the cell's arity set replicate the value
+// of the mask with those bits cleared, so a lookup stays correct even
+// if a caller's packed-input word carries stale high bits. A LUT lookup
+// `k.LUT()>>m&1` is exactly equivalent to Eval and is what the
+// simulator's flattened hot loop uses instead of switch dispatch.
+func (k Kind) LUT() uint8 {
+	arity := k.NumInputs()
+	var in [3]bool
+	var lut uint8
+	for m := 0; m < 8; m++ {
+		for j := 0; j < arity; j++ {
+			in[j] = m>>j&1 == 1
+		}
+		if k.Eval(in[:arity]) {
+			lut |= 1 << m
+		}
+	}
+	return lut
+}
+
 // Timing holds the nominal-corner timing parameters of a cell kind, in
 // picoseconds. Delay of an instance driving F fanout loads at the nominal
 // corner is Intrinsic + F*PerLoad.

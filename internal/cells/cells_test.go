@@ -59,6 +59,25 @@ func TestEvalTruthTables(t *testing.T) {
 	}
 }
 
+// TestLUTMatchesEval: the packed truth table agrees with Eval on every
+// input assignment, including masks whose bits above the cell's arity
+// are set (the replicated region).
+func TestLUTMatchesEval(t *testing.T) {
+	for _, k := range Kinds() {
+		lut := k.LUT()
+		arity := k.NumInputs()
+		in := make([]bool, arity)
+		for m := 0; m < 8; m++ {
+			for j := 0; j < arity; j++ {
+				in[j] = m>>j&1 == 1
+			}
+			if got, want := lut>>m&1 == 1, k.Eval(in); got != want {
+				t.Errorf("%s.LUT() bit %d = %v, Eval(%v) = %v", k, m, got, in, want)
+			}
+		}
+	}
+}
+
 func TestNominalTimingPositive(t *testing.T) {
 	for k := Kind(0); k < numKinds; k++ {
 		tm := NominalTiming(k)

@@ -95,6 +95,12 @@ type CharacterizeOptions struct {
 	// (internal/runner), pick Workers ≈ GOMAXPROCS / pool-workers so the
 	// two levels compose without oversubscription.
 	Workers int
+
+	// RefKernel simulates on the reference heap kernel instead of the
+	// default calendar-queue kernel. The two are bit-identical (the sim
+	// package's differential suite enforces it), so this only trades
+	// speed for an independent code path — an audit tool, not a mode.
+	RefKernel bool
 }
 
 // shardCount resolves the effective shard count for an n-cycle stream:
@@ -211,8 +217,12 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 	// Create every runner up front (and sequentially fail fast): they all
 	// share the one cached/singleflighted STA result.
 	runners := make([]*sim.Runner, shards)
+	newRunner := u.NewRunner
+	if opts.RefKernel {
+		newRunner = u.NewRefRunner
+	}
 	for w := range runners {
-		if runners[w], err = u.NewRunner(corner); err != nil {
+		if runners[w], err = newRunner(corner); err != nil {
 			return nil, err
 		}
 	}

@@ -123,6 +123,17 @@ func (u *FUnit) NewRunner(c cells.Corner) (*sim.Runner, error) {
 	return sim.NewRunner(u.NL, res.GateDelay)
 }
 
+// NewRefRunner is NewRunner on the reference heap kernel — the
+// differential oracle. Characterizations run with it are bit-identical
+// to the fast kernel's, just slower; use it to audit a suspect result.
+func (u *FUnit) NewRefRunner(c cells.Corner) (*sim.Runner, error) {
+	res, err := u.Static(c)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewRefRunner(u.NL, res.GateDelay)
+}
+
 // BaseClock returns the fastest error-free clock period (ps) at a
 // corner. If a measured base was installed with SetBaseClock (the max
 // dynamic delay observed during characterization — the paper's "fastest

@@ -76,6 +76,34 @@ func TestCharacterizeShardingDeterminism(t *testing.T) {
 	}
 }
 
+// TestCharacterizeRefKernelEquivalence runs the same characterization on
+// the fast calendar-queue kernel and the reference heap kernel: a full
+// pipeline-level replay of the sim package's differential guarantee.
+// Sharding is exercised on both sides since each shard gets its own
+// runner of the selected kernel.
+func TestCharacterizeRefKernelEquivalence(t *testing.T) {
+	u, err := NewFUnit(circuits.FPAdd32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := cells.Corner{V: 0.83, T: 75}
+	stream := workload.Random(true, 300, 11)
+	static, err := u.Static(corner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := []float64{0.5 * static.Delay, 0.9 * static.Delay}
+	fast, err := CharacterizeOpts(u, corner, stream, clocks, CharacterizeOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := CharacterizeOpts(u, corner, stream, clocks, CharacterizeOptions{Workers: 4, RefKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTraces(t, fast, ref)
+}
+
 // TestCharacterizeConcurrentSharedFUnit stresses the layering the sweep
 // runner produces: several goroutines characterize the same FUnit at
 // once, each itself sharded. Run under -race (scripts/check.sh does) it

@@ -82,13 +82,16 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Acquire the semaphore before spawning: a 500-tree forest with 8
+	// workers runs at most 8 goroutines at a time, instead of parking 500
+	// (each with its own stack) on the channel.
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for ti := 0; ti < f.cfg.Trees; ti++ {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(ti int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := f.cfg.Tree
 			cfg.Seed = f.cfg.Seed + int64(ti)*7919

@@ -140,19 +140,25 @@ func (t *DecisionTree) FitIndices(X [][]float64, y []float64, idx []int) error {
 
 // globalThresholds computes the per-feature split candidates once:
 // midpoints between consecutive distinct values when there are few, else
-// quantile midpoints.
+// quantile midpoints. One scratch buffer serves every feature — raw
+// values, distinct values, and midpoints all share its storage — and
+// only the final candidate list is copied out, exactly sized, because
+// ths outlives this call. (The old per-feature mids allocation sized a
+// slice to the distinct-value count and then usually discarded it for a
+// quantile-strided copy: per-feature garbage proportional to the
+// training set.)
 func globalThresholds(X [][]float64, idx []int, quantiles int) [][]float64 {
 	nf := len(X[0])
 	ths := make([][]float64, nf)
-	vals := make([]float64, 0, len(idx))
+	scratch := make([]float64, 0, len(idx))
 	for f := 0; f < nf; f++ {
-		vals = vals[:0]
+		vals := scratch[:0]
 		for _, i := range idx {
 			vals = append(vals, X[i][f])
 		}
 		sort.Float64s(vals)
-		// Distinct values, capped.
-		distinct := vals[:0:len(vals)] // reuse storage
+		// Distinct values, in place.
+		distinct := vals[:0:len(vals)]
 		prev := math.NaN()
 		for _, v := range vals {
 			if v != prev {
@@ -163,18 +169,21 @@ func globalThresholds(X [][]float64, idx []int, quantiles int) [][]float64 {
 		if len(distinct) < 2 {
 			continue
 		}
-		mids := make([]float64, len(distinct)-1)
+		// Midpoints, in place over the distinct values: slot j-1 is
+		// rewritten after it is read and before slot j is needed.
+		mids := distinct[:len(distinct)-1]
 		for j := 1; j < len(distinct); j++ {
 			mids[j-1] = (distinct[j-1] + distinct[j]) / 2
 		}
 		if len(mids) > quantiles {
-			strided := make([]float64, 0, quantiles)
-			for k := 0; k < quantiles; k++ {
-				strided = append(strided, mids[k*len(mids)/quantiles])
+			strided := make([]float64, quantiles)
+			for k := range strided {
+				strided[k] = mids[k*len(mids)/quantiles]
 			}
-			mids = strided
+			ths[f] = strided
+		} else {
+			ths[f] = append([]float64(nil), mids...)
 		}
-		ths[f] = mids
 	}
 	return ths
 }

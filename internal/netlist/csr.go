@@ -1,0 +1,87 @@
+package netlist
+
+// CSR is a flattened, cache-friendly view of the netlist for hot loops
+// that cannot afford per-event pointer chasing: the event-driven
+// simulator's kernel walks these arrays with pure index arithmetic
+// instead of loading Net.Fanout slice headers and Gate.Inputs slices.
+//
+// Fanout edges are stored compressed-sparse-row style: the edges of net
+// id live in FanoutEdges[FanoutStart[id]:FanoutStart[id+1]]. Each edge
+// packs the reading gate and the input pin it feeds, one edge per
+// (gate, pin) occurrence — a net wired to two pins of the same gate
+// contributes two edges, so flipping the per-pin bit once per edge
+// keeps a packed input-value bitset exact.
+//
+// The view is derived data: it is built once on first use, cached on
+// the Netlist (which is immutable once built, like the topological
+// order cache), and never mutated afterwards, so any number of
+// simultaneously-live runners can share it read-only.
+type CSR struct {
+	// FanoutStart has NumNets()+1 entries; FanoutEdges[FanoutStart[i]:
+	// FanoutStart[i+1]] are net i's fanout edges in (gate, pin) order.
+	FanoutStart []int32
+	// FanoutEdges packs gateID<<2 | pin per edge (pins are 0..2; the
+	// cell library's maximum arity is 3).
+	FanoutEdges []int32
+	// GateOut[g] is gate g's output net.
+	GateOut []int32
+	// GateIn holds each gate's input nets padded to PinsPerGate entries
+	// (-1 for unused pins): gate g's pin j reads net GateIn[g*PinsPerGate+j].
+	GateIn []int32
+}
+
+// PinsPerGate is the fixed per-gate input stride of CSR.GateIn: the cell
+// library's maximum arity.
+const PinsPerGate = 3
+
+// EdgeGate unpacks the reading gate of a CSR fanout edge.
+func EdgeGate(e int32) GateID { return GateID(e >> 2) }
+
+// EdgePin unpacks the input pin of a CSR fanout edge.
+func EdgePin(e int32) int { return int(e & 3) }
+
+// CSR returns the flattened fanout/pin view, building and caching it on
+// first use. Like TopoOrder, the cache is not synchronized: build it
+// from one goroutine (e.g. by constructing the first runner) before
+// sharing the netlist across workers.
+func (n *Netlist) CSR() *CSR {
+	if n.csr != nil {
+		return n.csr
+	}
+	c := &CSR{
+		FanoutStart: make([]int32, len(n.Nets)+1),
+		GateOut:     make([]int32, len(n.Gates)),
+		GateIn:      make([]int32, len(n.Gates)*PinsPerGate),
+	}
+	// Count edges per net, then fill with a running cursor. Iterating
+	// gates in id order makes each net's edge list (gate, pin)-sorted.
+	edges := 0
+	for gi := range n.Gates {
+		edges += len(n.Gates[gi].Inputs)
+	}
+	c.FanoutEdges = make([]int32, edges)
+	for gi := range n.Gates {
+		for _, in := range n.Gates[gi].Inputs {
+			c.FanoutStart[in+1]++
+		}
+	}
+	for i := 1; i < len(c.FanoutStart); i++ {
+		c.FanoutStart[i] += c.FanoutStart[i-1]
+	}
+	cursor := make([]int32, len(n.Nets))
+	copy(cursor, c.FanoutStart[:len(n.Nets)])
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		c.GateOut[gi] = int32(g.Output)
+		for j := 0; j < PinsPerGate; j++ {
+			c.GateIn[gi*PinsPerGate+j] = -1
+		}
+		for pin, in := range g.Inputs {
+			c.GateIn[gi*PinsPerGate+pin] = int32(in)
+			c.FanoutEdges[cursor[in]] = int32(gi)<<2 | int32(pin)
+			cursor[in]++
+		}
+	}
+	n.csr = c
+	return c
+}

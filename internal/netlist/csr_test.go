@@ -1,0 +1,104 @@
+package netlist
+
+import (
+	"testing"
+
+	"tevot/internal/cells"
+)
+
+// TestCSRMatchesNetlist cross-checks the flattened view against the
+// pointerful representation on a fleet of random circuits: every
+// (gate, pin) edge appears exactly once under the net it reads, gate
+// outputs and padded input pins line up, and edge lists are
+// (gate, pin)-sorted so kernels iterating them are deterministic.
+func TestCSRMatchesNetlist(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		nl, err := Random(RandomOptions{
+			Inputs:  4 + int(seed%4),
+			Gates:   15 + int(seed*11%50),
+			Outputs: 1 + int(seed%3),
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := nl.CSR()
+		if nl.CSR() != c {
+			t.Fatal("CSR not cached")
+		}
+		if got, want := len(c.FanoutStart), nl.NumNets()+1; got != want {
+			t.Fatalf("FanoutStart has %d entries, want %d", got, want)
+		}
+		totalPins := 0
+		for gi := range nl.Gates {
+			g := &nl.Gates[gi]
+			totalPins += len(g.Inputs)
+			if c.GateOut[gi] != int32(g.Output) {
+				t.Fatalf("gate %d: GateOut = %d, want %d", gi, c.GateOut[gi], g.Output)
+			}
+			for pin := 0; pin < PinsPerGate; pin++ {
+				want := int32(-1)
+				if pin < len(g.Inputs) {
+					want = int32(g.Inputs[pin])
+				}
+				if got := c.GateIn[gi*PinsPerGate+pin]; got != want {
+					t.Fatalf("gate %d pin %d: GateIn = %d, want %d", gi, pin, got, want)
+				}
+			}
+		}
+		if len(c.FanoutEdges) != totalPins {
+			t.Fatalf("%d fanout edges, want %d", len(c.FanoutEdges), totalPins)
+		}
+		for ni := range nl.Nets {
+			lo, hi := c.FanoutStart[ni], c.FanoutStart[ni+1]
+			seen := make(map[int32]bool)
+			for e := lo; e < hi; e++ {
+				edge := c.FanoutEdges[e]
+				if e > lo && edge <= c.FanoutEdges[e-1] {
+					t.Fatalf("net %d: edges not (gate, pin)-sorted", ni)
+				}
+				if seen[edge] {
+					t.Fatalf("net %d: duplicate edge %d", ni, edge)
+				}
+				seen[edge] = true
+				g, pin := EdgeGate(edge), EdgePin(edge)
+				if pin >= len(nl.Gates[g].Inputs) || nl.Gates[g].Inputs[pin] != NetID(ni) {
+					t.Fatalf("net %d: edge says gate %d pin %d, but that pin reads net %v",
+						ni, g, pin, nl.Gates[g].Inputs[pin])
+				}
+			}
+			// Every occurrence of the net in every gate's pin list must
+			// be covered by exactly one edge.
+			occurrences := 0
+			for gi := range nl.Gates {
+				for _, in := range nl.Gates[gi].Inputs {
+					if in == NetID(ni) {
+						occurrences++
+					}
+				}
+			}
+			if occurrences != int(hi-lo) {
+				t.Fatalf("net %d: %d pin occurrences but %d edges", ni, occurrences, hi-lo)
+			}
+		}
+	}
+}
+
+// TestCSRSharedPinGate: a net feeding two pins of the same gate yields
+// one edge per pin.
+func TestCSRSharedPinGate(t *testing.T) {
+	b := NewBuilder("shared")
+	x := b.Input("x")
+	o := b.Gate(cells.Xor2, x, x)
+	b.Output(o)
+	nl := b.MustBuild()
+	c := nl.CSR()
+	lo, hi := c.FanoutStart[x], c.FanoutStart[x+1]
+	if hi-lo != 2 {
+		t.Fatalf("net x has %d edges, want 2", hi-lo)
+	}
+	if EdgePin(c.FanoutEdges[lo]) != 0 || EdgePin(c.FanoutEdges[lo+1]) != 1 {
+		t.Fatalf("edges carry pins (%d, %d), want (0, 1)",
+			EdgePin(c.FanoutEdges[lo]), EdgePin(c.FanoutEdges[lo+1]))
+	}
+}

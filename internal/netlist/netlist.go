@@ -58,6 +58,7 @@ type Netlist struct {
 
 	level []int32 // per-gate topological level, built by Levelize
 	order []GateID
+	csr   *CSR // flattened fanout/pin view, built by CSR
 }
 
 // NumGates reports the number of gate instances.

@@ -12,6 +12,10 @@ import (
 // steadyRunner builds a warmed-up runner and a pool of input vectors for
 // allocation measurements.
 func steadyRunner(t testing.TB, fu circuits.FU) (*Runner, [][]bool) {
+	return steadyKernelRunner(t, fu, false)
+}
+
+func steadyKernelRunner(t testing.TB, fu circuits.FU, ref bool) (*Runner, [][]bool) {
 	nl, err := fu.Build()
 	if err != nil {
 		t.Fatal(err)
@@ -20,7 +24,11 @@ func steadyRunner(t testing.TB, fu circuits.FU) (*Runner, [][]bool) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(nl, delays)
+	newR := NewRunner
+	if ref {
+		newR = NewRefRunner
+	}
+	r, err := newR(nl, delays)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,23 +50,31 @@ func steadyRunner(t testing.TB, fu circuits.FU) (*Runner, [][]bool) {
 	return r, vecs
 }
 
-// TestCycleSteadyStateNoAllocs locks in the allocation-free hot path:
-// after warm-up, streaming Cycle calls reuse every internal buffer.
+// TestCycleSteadyStateNoAllocs locks in the allocation-free hot path for
+// both kernels: after warm-up, streaming Cycle calls reuse every
+// internal buffer — the fast kernel's calendar-queue buckets and batch
+// scratch included.
 func TestCycleSteadyStateNoAllocs(t *testing.T) {
-	for _, fu := range circuits.AllFUs {
-		t.Run(fu.String(), func(t *testing.T) {
-			r, vecs := steadyRunner(t, fu)
-			i := 0
-			allocs := testing.AllocsPerRun(200, func() {
-				if _, err := r.Cycle(nil, vecs[i%len(vecs)]); err != nil {
-					t.Fatal(err)
+	for _, kern := range []struct {
+		name string
+		ref  bool
+	}{{"fast", false}, {"ref", true}} {
+		for _, fu := range circuits.AllFUs {
+			kern, fu := kern, fu
+			t.Run(kern.name+"/"+fu.String(), func(t *testing.T) {
+				r, vecs := steadyKernelRunner(t, fu, kern.ref)
+				i := 0
+				allocs := testing.AllocsPerRun(200, func() {
+					if _, err := r.Cycle(nil, vecs[i%len(vecs)]); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				})
+				if allocs != 0 {
+					t.Fatalf("steady-state Cycle allocates %.1f times per call; want 0", allocs)
 				}
-				i++
 			})
-			if allocs != 0 {
-				t.Fatalf("steady-state Cycle allocates %.1f times per call; want 0", allocs)
-			}
-		})
+		}
 	}
 }
 

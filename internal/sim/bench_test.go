@@ -64,6 +64,7 @@ func BenchmarkCycle(b *testing.B) {
 				events += res.Events
 			}
 			b.ReportMetric(float64(events)/float64(b.N), "events/cycle")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 		})
 	}
 }

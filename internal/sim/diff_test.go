@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/circuits"
+	"tevot/internal/netlist"
+	"tevot/internal/sta"
+)
+
+// The differential suite: the fast calendar-queue/CSR/LUT kernel must be
+// bit-identical to the reference heap kernel on every circuit — same
+// Delay, Settled, Toggles, Events, and the same observer stream in the
+// same order. These tests are the contract that lets the fast kernel
+// replace the heap without a semantic audit of every caller.
+
+// obsRecord is one observer callback, for stream comparison.
+type obsRecord struct {
+	net netlist.NetID
+	t   float64
+	val bool
+}
+
+// runKernelDiff drives both kernels through the same cycle sequence and
+// fails on the first observable divergence. Vectors alternate between
+// streaming mode (prev == nil) and explicit-prev settles to cover the
+// fast kernel's incremental and rebuilt input-bitset paths.
+func runKernelDiff(t *testing.T, nl *netlist.Netlist, delays []float64, seed int64, cycles int) {
+	t.Helper()
+	fast, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRefRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Ref() || !ref.Ref() {
+		t.Fatal("kernel selection mixed up")
+	}
+	var fastObs, refObs []obsRecord
+	fast.SetObserver(func(n netlist.NetID, at float64, v bool) {
+		fastObs = append(fastObs, obsRecord{n, at, v})
+	})
+	ref.SetObserver(func(n netlist.NetID, at float64, v bool) {
+		refObs = append(refObs, obsRecord{n, at, v})
+	})
+	rng := rand.New(rand.NewSource(seed))
+	ni := len(nl.PrimaryInputs)
+	randVec := func() []bool {
+		v := make([]bool, ni)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		return v
+	}
+	prev := randVec()
+	for cycle := 0; cycle < cycles; cycle++ {
+		cur := randVec()
+		var prevArg []bool
+		if cycle == 0 || cycle%7 == 3 {
+			prevArg = prev
+		}
+		fastObs, refObs = fastObs[:0], refObs[:0]
+		fr, err := fast.Cycle(prevArg, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := ref.Cycle(prevArg, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Delay != rr.Delay {
+			t.Fatalf("cycle %d: Delay fast=%v ref=%v", cycle, fr.Delay, rr.Delay)
+		}
+		if fr.Events != rr.Events {
+			t.Fatalf("cycle %d: Events fast=%d ref=%d", cycle, fr.Events, rr.Events)
+		}
+		for i := range rr.Settled {
+			if fr.Settled[i] != rr.Settled[i] {
+				t.Fatalf("cycle %d: Settled[%d] fast=%v ref=%v", cycle, i, fr.Settled[i], rr.Settled[i])
+			}
+		}
+		for oi := range rr.Toggles {
+			if len(fr.Toggles[oi]) != len(rr.Toggles[oi]) {
+				t.Fatalf("cycle %d output %d: %d toggles fast, %d ref",
+					cycle, oi, len(fr.Toggles[oi]), len(rr.Toggles[oi]))
+			}
+			for k := range rr.Toggles[oi] {
+				if fr.Toggles[oi][k] != rr.Toggles[oi][k] {
+					t.Fatalf("cycle %d output %d toggle %d: fast=%+v ref=%+v",
+						cycle, oi, k, fr.Toggles[oi][k], rr.Toggles[oi][k])
+				}
+			}
+		}
+		if len(fastObs) != len(refObs) {
+			t.Fatalf("cycle %d: observer saw %d transitions fast, %d ref",
+				cycle, len(fastObs), len(refObs))
+		}
+		for k := range refObs {
+			if fastObs[k] != refObs[k] {
+				t.Fatalf("cycle %d observer record %d: fast=%+v ref=%+v",
+					cycle, k, fastObs[k], refObs[k])
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestKernelDiffFUs pins kernel equivalence on all four functional units
+// across voltage/temperature corners — the circuits the characterization
+// pipeline actually simulates.
+func TestKernelDiffFUs(t *testing.T) {
+	corners := []cells.Corner{{V: 0.81, T: 100}, {V: 0.85, T: 50}, {V: 1.00, T: 0}}
+	for _, fu := range circuits.AllFUs {
+		fu := fu
+		t.Run(fu.String(), func(t *testing.T) {
+			t.Parallel()
+			nl, err := fu.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci, corner := range corners {
+				delays, err := sta.GateDelays(nl, corner, sta.DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				runKernelDiff(t, nl, delays, int64(ci)*31+7, 12)
+			}
+		})
+	}
+}
+
+// TestKernelDiffRandom fuzzes kernel equivalence over the same random
+// circuit family as the simulator's functional fuzz corpus.
+func TestKernelDiffRandom(t *testing.T) {
+	corners := []cells.Corner{{V: 0.81, T: 0}, {V: 0.90, T: 50}, {V: 1.00, T: 100}}
+	for seed := int64(0); seed < 25; seed++ {
+		nl, err := netlist.Random(netlist.RandomOptions{
+			Inputs:  4 + int(seed%5),
+			Gates:   20 + int(seed*7%60),
+			Outputs: 1 + int(seed%4),
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays, err := sta.GateDelays(nl, corners[seed%int64(len(corners))], sta.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runKernelDiff(t, nl, delays, seed+500, 20)
+	}
+}
+
+// TestKernelDiffExtremeDelayRatio forces the calendar queue's overflow
+// path: a delay spread wider than the wheel's capped horizon
+// (maxD/minD >> maxBuckets) makes long-delay gates schedule events past
+// the wheel, exercising overflow tracking, migration, and the rebase
+// jump when only far-future events remain.
+func TestKernelDiffExtremeDelayRatio(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		nl, err := netlist.Random(netlist.RandomOptions{
+			Inputs:  6,
+			Gates:   40 + int(seed*13%40),
+			Outputs: 3,
+			Seed:    200 + seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		delays := make([]float64, nl.NumGates())
+		for gi := range delays {
+			// Mostly unit-scale delays with occasional huge outliers:
+			// ratio ~1e5, far beyond the 2^12-bucket horizon.
+			if rng.Intn(4) == 0 {
+				delays[gi] = 1e5 * (1 + rng.Float64())
+			} else {
+				delays[gi] = 1 + rng.Float64()
+			}
+		}
+		runKernelDiff(t, nl, delays, seed+900, 20)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+// The reference kernel: the original binary-heap scheduler with
+// switch-dispatch gate evaluation, preserved verbatim behind the
+// refKernel switch as the differential oracle for the fast kernel.
+// Delay, Settled, Toggles, Events, and the observer stream must be
+// bit-identical between the two on every circuit; the differential
+// fuzz suite (diff_test.go) and the kernel-equivalence step in
+// scripts/check.sh enforce this.
+
+// cycleRef runs one cycle's event processing with the heap kernel. The
+// caller (Runner.Cycle) has already settled val, reset the result, and
+// seeded proj/initOut.
+func (r *Runner) cycleRef(cur []bool) {
+	nl := r.nl
+	res := &r.res
+	r.heap = r.heap[:0]
+
+	// Apply the new vector at t = 0 and seed the first gate batch.
+	r.curStamp++
+	r.batch = r.batch[:0]
+	for i, pi := range nl.PrimaryInputs {
+		if r.val[pi] != cur[i] {
+			r.val[pi] = cur[i]
+			r.proj[pi] = cur[i]
+			res.Events++
+			if r.observer != nil {
+				r.observer(pi, 0, cur[i])
+			}
+			if oi := r.outIndex[pi]; oi != 0 {
+				// Degenerate but legal: an input wired straight out.
+				res.Toggles[oi-1] = append(res.Toggles[oi-1], Toggle{0, cur[i]})
+			}
+			for _, g := range nl.Nets[pi].Fanout {
+				r.mark(g)
+			}
+		}
+	}
+	r.evalBatchRef(0)
+
+	// Event loop: drain strictly increasing time batches.
+	for len(r.heap) > 0 {
+		t := r.heap[0].t
+		r.curStamp++
+		r.batch = r.batch[:0]
+		for len(r.heap) > 0 && r.heap[0].t == t {
+			ev := r.heap.pop()
+			if ev.gen != r.gen[ev.net] {
+				continue // cancelled by a later re-evaluation
+			}
+			if r.val[ev.net] == ev.val {
+				continue
+			}
+			r.val[ev.net] = ev.val
+			res.Events++
+			if r.observer != nil {
+				r.observer(ev.net, t, ev.val)
+			}
+			if oi := r.outIndex[ev.net]; oi != 0 {
+				res.Toggles[oi-1] = append(res.Toggles[oi-1], Toggle{t, ev.val})
+				if t > res.Delay {
+					res.Delay = t
+				}
+			}
+			for _, g := range nl.Nets[ev.net].Fanout {
+				r.mark(g)
+			}
+		}
+		r.evalBatchRef(t)
+	}
+}
+
+// evalBatchRef re-evaluates each gate marked at time t through the cell
+// library's switch dispatch and schedules inertial output transitions.
+func (r *Runner) evalBatchRef(t float64) {
+	var in [3]bool
+	for _, gi := range r.batch {
+		g := &r.nl.Gates[gi]
+		for j, id := range g.Inputs {
+			in[j] = r.val[id]
+		}
+		v := g.Kind.Eval(in[:len(g.Inputs)])
+		out := g.Output
+		if v == r.proj[out] {
+			continue
+		}
+		// Inertial model: cancel any pending event and either schedule
+		// the new transition or swallow the pulse entirely.
+		r.gen[out]++
+		r.proj[out] = v
+		if v != r.val[out] {
+			r.heap.push(event{t: t + r.delays[gi], net: out, val: v, gen: r.gen[out]})
+		}
+	}
+}

@@ -126,6 +126,13 @@ type Observer func(net netlist.NetID, t float64, val bool)
 
 // Runner simulates cycles over one netlist with one delay annotation.
 // It is not safe for concurrent use; create one Runner per goroutine.
+//
+// Two kernels share this state. The default (NewRunner) is the fast
+// kernel: a calendar-queue scheduler over the netlist's CSR view with
+// per-gate truth-table LUT evaluation. The reference kernel
+// (NewRefRunner) is the original binary-heap/switch-dispatch event loop,
+// kept as the differential oracle: both produce bit-identical Delay,
+// Settled, Toggles, Events, and observer streams on every circuit.
 type Runner struct {
 	nl     *netlist.Netlist
 	delays []float64
@@ -133,8 +140,6 @@ type Runner struct {
 	val  []bool   // current value per net
 	proj []bool   // projected value per net after pending events
 	gen  []uint32 // event generation per net, for inertial cancellation
-
-	heap eventHeap
 
 	outIndex []int32 // net -> primary-output index + 1, or 0
 	initOut  []bool  // output values at cycle start (previous settled)
@@ -146,11 +151,34 @@ type Runner struct {
 	res      CycleResult
 	observer Observer
 	settled  bool // val holds a settled state from a previous cycle
+
+	// refKernel selects the heap oracle; the fields below it belong to
+	// one kernel each.
+	refKernel bool
+	heap      eventHeap // ref kernel: pending-event min-heap
+
+	csr   *netlist.CSR // fast kernel: flattened fanout/pin arrays
+	lut   []uint8      // fast kernel: per-gate packed truth table
+	inVal []uint8      // fast kernel: per-gate packed input values
+	cq    calQueue     // fast kernel: calendar-queue scheduler
 }
 
-// NewRunner creates a Runner. delays must hold one propagation delay (ps)
-// per gate, as produced by sta.GateDelays or sdf.File.Apply.
+// NewRunner creates a Runner using the fast kernel. delays must hold one
+// propagation delay (ps) per gate, as produced by sta.GateDelays or
+// sdf.File.Apply.
 func NewRunner(nl *netlist.Netlist, delays []float64) (*Runner, error) {
+	return newRunner(nl, delays, false)
+}
+
+// NewRefRunner creates a Runner using the reference heap kernel — the
+// differential oracle the fast kernel is verified against. It is
+// intentionally slow (per-event heap percolation, switch-dispatch gate
+// evaluation); use it only for equivalence testing and debugging.
+func NewRefRunner(nl *netlist.Netlist, delays []float64) (*Runner, error) {
+	return newRunner(nl, delays, true)
+}
+
+func newRunner(nl *netlist.Netlist, delays []float64, refKernel bool) (*Runner, error) {
 	if len(delays) != len(nl.Gates) {
 		return nil, fmt.Errorf("sim: %d delays for %d gates", len(delays), len(nl.Gates))
 	}
@@ -163,22 +191,47 @@ func NewRunner(nl *netlist.Netlist, delays []float64) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{
-		nl:       nl,
-		delays:   delays,
-		val:      make([]bool, nl.NumNets()),
-		proj:     make([]bool, nl.NumNets()),
-		gen:      make([]uint32, nl.NumNets()),
-		outIndex: make([]int32, nl.NumNets()),
-		initOut:  make([]bool, len(nl.PrimaryOutputs)),
-		stamp:    make([]uint32, nl.NumGates()),
+		nl:        nl,
+		delays:    delays,
+		val:       make([]bool, nl.NumNets()),
+		proj:      make([]bool, nl.NumNets()),
+		gen:       make([]uint32, nl.NumNets()),
+		outIndex:  make([]int32, nl.NumNets()),
+		initOut:   make([]bool, len(nl.PrimaryOutputs)),
+		stamp:     make([]uint32, nl.NumGates()),
+		refKernel: refKernel,
 	}
 	for i, po := range nl.PrimaryOutputs {
 		r.outIndex[po] = int32(i + 1)
 	}
 	r.res.Settled = make([]bool, len(nl.PrimaryOutputs))
 	r.res.Toggles = make([][]Toggle, len(nl.PrimaryOutputs))
+	if !refKernel {
+		r.csr = nl.CSR()
+		r.lut = make([]uint8, nl.NumGates())
+		r.inVal = make([]uint8, nl.NumGates())
+		minD, maxD := 1.0, 1.0
+		if len(delays) > 0 {
+			minD, maxD = delays[0], delays[0]
+			for _, d := range delays[1:] {
+				if d < minD {
+					minD = d
+				}
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+		r.cq.init(minD, maxD)
+		for gi := range nl.Gates {
+			r.lut[gi] = nl.Gates[gi].Kind.LUT()
+		}
+	}
 	return r, nil
 }
+
+// Ref reports whether this Runner uses the reference heap kernel.
+func (r *Runner) Ref() bool { return r.refKernel }
 
 // SetObserver registers a transition observer (nil to remove).
 func (r *Runner) SetObserver(o Observer) { r.observer = o }
@@ -211,6 +264,12 @@ func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 		if err := nl.EvalInto(prev, r.val); err != nil {
 			return nil, err
 		}
+		if !r.refKernel {
+			// The settle rewrote val wholesale; resync the packed
+			// per-gate input bitsets the fast kernel maintains
+			// incrementally during event processing.
+			r.rebuildInVals()
+		}
 	}
 	copy(r.proj, r.val)
 	for i, po := range nl.PrimaryOutputs {
@@ -222,59 +281,11 @@ func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 	for i := range res.Toggles {
 		res.Toggles[i] = res.Toggles[i][:0]
 	}
-	r.heap = r.heap[:0]
 
-	// Apply the new vector at t = 0 and seed the first gate batch.
-	r.curStamp++
-	r.batch = r.batch[:0]
-	for i, pi := range nl.PrimaryInputs {
-		if r.val[pi] != cur[i] {
-			r.val[pi] = cur[i]
-			r.proj[pi] = cur[i]
-			res.Events++
-			if r.observer != nil {
-				r.observer(pi, 0, cur[i])
-			}
-			if oi := r.outIndex[pi]; oi != 0 {
-				// Degenerate but legal: an input wired straight out.
-				res.Toggles[oi-1] = append(res.Toggles[oi-1], Toggle{0, cur[i]})
-			}
-			for _, g := range nl.Nets[pi].Fanout {
-				r.mark(g)
-			}
-		}
-	}
-	r.evalBatch(0)
-
-	// Event loop: drain strictly increasing time batches.
-	for len(r.heap) > 0 {
-		t := r.heap[0].t
-		r.curStamp++
-		r.batch = r.batch[:0]
-		for len(r.heap) > 0 && r.heap[0].t == t {
-			ev := r.heap.pop()
-			if ev.gen != r.gen[ev.net] {
-				continue // cancelled by a later re-evaluation
-			}
-			if r.val[ev.net] == ev.val {
-				continue
-			}
-			r.val[ev.net] = ev.val
-			res.Events++
-			if r.observer != nil {
-				r.observer(ev.net, t, ev.val)
-			}
-			if oi := r.outIndex[ev.net]; oi != 0 {
-				res.Toggles[oi-1] = append(res.Toggles[oi-1], Toggle{t, ev.val})
-				if t > res.Delay {
-					res.Delay = t
-				}
-			}
-			for _, g := range nl.Nets[ev.net].Fanout {
-				r.mark(g)
-			}
-		}
-		r.evalBatch(t)
+	if r.refKernel {
+		r.cycleRef(cur)
+	} else {
+		r.cycleFast(cur)
 	}
 
 	for i, po := range nl.PrimaryOutputs {
@@ -284,34 +295,12 @@ func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 	return res, nil
 }
 
-// mark queues a gate for re-evaluation in the current batch, once.
+// mark queues a gate for re-evaluation in the current batch, once: the
+// re-evaluation deduplication that keeps a gate whose inputs change
+// multiple times at the same timestamp down to a single evaluation.
 func (r *Runner) mark(g netlist.GateID) {
 	if r.stamp[g] != r.curStamp {
 		r.stamp[g] = r.curStamp
 		r.batch = append(r.batch, g)
-	}
-}
-
-// evalBatch re-evaluates each gate marked at time t and schedules inertial
-// output transitions.
-func (r *Runner) evalBatch(t float64) {
-	var in [3]bool
-	for _, gi := range r.batch {
-		g := &r.nl.Gates[gi]
-		for j, id := range g.Inputs {
-			in[j] = r.val[id]
-		}
-		v := g.Kind.Eval(in[:len(g.Inputs)])
-		out := g.Output
-		if v == r.proj[out] {
-			continue
-		}
-		// Inertial model: cancel any pending event and either schedule
-		// the new transition or swallow the pulse entirely.
-		r.gen[out]++
-		r.proj[out] = v
-		if v != r.val[out] {
-			r.heap.push(event{t: t + r.delays[gi], net: out, val: v, gen: r.gen[out]})
-		}
 	}
 }

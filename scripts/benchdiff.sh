@@ -1,13 +1,19 @@
 #!/bin/sh
 # Compare two benchmark JSON files produced by scripts/benchjson.sh and
-# fail (exit 1) when any shared benchmark's ns/op regressed by more than
-# the threshold percentage. Throughput metrics (cycles/s, rows/s) are
-# reported but only ns/op gates, since throughput is derived from it.
+# fail (exit 1) when any shared benchmark regressed by more than the
+# threshold percentage — on ns/op, or on cycles/s where the benchmark
+# reports it (the simulator's throughput metric; a drop is a regression
+# even if ns/op noise hides it). events/cycle is carried through the
+# diff informationally: it is a workload property, not a speed, but a
+# shift flags a semantic change in the kernel. Improvements beyond the
+# threshold are called out as such.
 #
 # Benchmarks present on only one side never fail the gate: new ones
 # (added since the baseline) are listed as "new", removed ones as
-# "removed". The comparison exits 2 only when the inputs are unusable
-# (missing files, no benchmarks at all).
+# "removed". Metrics present on only one side (e.g. a baseline written
+# before cycles/s existed) are skipped, not failed. The comparison exits
+# 2 only when the inputs are unusable (missing files, no benchmarks at
+# all).
 #
 # Usage: sh scripts/benchdiff.sh old.json new.json [threshold-pct]
 set -eu
@@ -40,6 +46,7 @@ added = sorted(set(new) - set(old))
 removed = sorted(set(old) - set(new))
 
 failed = []
+improved = []
 compared = 0
 print(f"{'benchmark':60s} {'old ns/op':>14s} {'new ns/op':>14s} {'delta':>8s}")
 for name in shared:
@@ -51,9 +58,35 @@ for name in shared:
     delta = (n - o) / o * 100
     flag = ""
     if delta > threshold:
-        failed.append((name, delta))
+        failed.append((name, "ns/op", delta))
         flag = "  REGRESSION"
+    elif delta < -threshold:
+        improved.append((name, "ns/op", delta))
+        flag = "  improved"
     print(f"{name:60s} {o:14.0f} {n:14.0f} {delta:+7.1f}%{flag}")
+
+# Throughput and kernel-shape metrics, where both sides report them.
+# cycles/s gates (lower is a regression); events/cycle is informational.
+tracked = [("cycles/s", True), ("events/cycle", False)]
+rows = []
+for name in shared:
+    for metric, gates in tracked:
+        o, n = old[name].get(metric), new[name].get(metric)
+        if not o or n is None:
+            continue
+        delta = (n - o) / o * 100
+        flag = ""
+        if gates and delta < -threshold:
+            failed.append((name, metric, delta))
+            flag = "  REGRESSION"
+        elif gates and delta > threshold:
+            improved.append((name, metric, delta))
+            flag = "  improved"
+        rows.append(f"{name:48s} {metric:>12s} {o:14.1f} {n:14.1f} {delta:+7.1f}%{flag}")
+if rows:
+    print(f"\n{'benchmark':48s} {'metric':>12s} {'old':>14s} {'new':>14s} {'delta':>8s}")
+    for row in rows:
+        print(row)
 
 for name in added:
     n = new[name].get("ns/op")
@@ -64,10 +97,15 @@ for name in removed:
     shown = f"{o:14.0f}" if o is not None else f"{'?':>14s}"
     print(f"{name:60s} {shown} {'-':>14s}     removed")
 
+if improved:
+    print(f"\nbenchdiff: {len(improved)} metric(s) improved more than {threshold:.0f}%:")
+    for name, metric, delta in improved:
+        print(f"  {name} {metric}: {delta:+.1f}%")
+
 if failed:
-    print(f"\nbenchdiff: {len(failed)} benchmark(s) regressed more than {threshold:.0f}%:", file=sys.stderr)
-    for name, delta in failed:
-        print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+    print(f"\nbenchdiff: {len(failed)} metric(s) regressed more than {threshold:.0f}%:", file=sys.stderr)
+    for name, metric, delta in failed:
+        print(f"  {name} {metric}: {delta:+.1f}%", file=sys.stderr)
     sys.exit(1)
 
 notes = []
@@ -79,5 +117,5 @@ suffix = f"; {', '.join(notes)}" if notes else ""
 if compared == 0:
     print(f"\nbenchdiff: no shared benchmarks to gate on{suffix} — nothing regressed")
 else:
-    print(f"\nbenchdiff: ok ({compared} compared, no ns/op regression above {threshold:.0f}%{suffix})")
+    print(f"\nbenchdiff: ok ({compared} compared, no ns/op or cycles/s regression above {threshold:.0f}%{suffix})")
 EOF

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Run the DTA performance benchmarks and serialize the results to JSON
-# so scripts/benchdiff.sh can compare two commits.
+# so scripts/benchdiff.sh can compare two commits. Every "value unit"
+# metric a benchmark reports is captured — ns/op and B/op, but also the
+# simulator's cycles/s and events/cycle — so the diff can gate on
+# throughput, not just latency.
 #
 # Usage: sh scripts/benchjson.sh [out.json]
 set -eu

@@ -23,6 +23,9 @@ go test -run 'TestServeAbuseSmoke' ./cmd/tevot-serve
 echo "== signal handling: SIGTERM flushes checkpoint + finalizes manifest"
 go test -run 'TestSigtermFlushesCheckpointAndManifest' ./cmd/tevot-sweep
 
+echo "== kernel equivalence: calendar-queue vs reference heap, every FU"
+go test -run 'TestKernelDiffFUs' ./internal/sim
+
 echo "== determinism: sharded DTA bit-identity + singleflight (race)"
 go test -race -short -run \
 	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \
