@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json fuzz serve
+.PHONY: build test check bench bench-json fuzz serve cluster cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,20 @@ serve:
 	@test -f $(MODEL) || $(GO) run ./cmd/tevot-train \
 		-fu $(basename $(notdir $(MODEL))) -savemodels $(dir $(MODEL))
 	$(GO) run ./cmd/tevot-serve -model $(MODEL) -addr $(SERVE_ADDR)
+
+# In-process local cluster: coordinator + CLUSTER_WORKERS workers in one
+# process, merged output at CLUSTER_OUT (byte-identical to a
+# single-process sweep of the same flags).
+CLUSTER_WORKERS ?= 3
+CLUSTER_OUT ?= fig3.dist.jsonl
+cluster:
+	$(GO) run ./cmd/tevot-sweep -cluster $(CLUSTER_WORKERS) \
+		-checkpoint $(CLUSTER_OUT).ckpt -out $(CLUSTER_OUT)
+
+# Real-process fault drill: SIGKILL a worker mid-sweep, assert the
+# merged output still matches the single-process run byte-for-byte.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Short active fuzzing pass over every parser fuzz target.
 fuzz:

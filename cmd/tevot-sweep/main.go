@@ -9,25 +9,43 @@
 // interrupted sweep (SIGINT and SIGTERM are caught and flushed) pick up where it
 // left off.
 //
+// Distributed modes (internal/dist) scale the same sweep across
+// processes with identical output bytes:
+//
+//   - -coordinator ADDR leases cells to workers over HTTP, journaling
+//     completed cells to -checkpoint (resumable with -resume) and
+//     writing the merged JSONL to -out;
+//   - -join URL turns this process into a worker of that coordinator
+//     (grid flags are ignored — the spec comes from the coordinator);
+//   - -cluster N runs coordinator plus N workers in one process (the
+//     drill/test mode).
+//
 // Examples:
 //
 //	tevot-sweep -cycles 2000 -fu INT_ADD
 //	tevot-sweep -grid -workers 8 -checkpoint fig3.ckpt
 //	tevot-sweep -grid -checkpoint fig3.ckpt -resume   # after a kill
+//	tevot-sweep -grid -coordinator 127.0.0.1:7077 -checkpoint j.jsonl -out fig3.jsonl
+//	tevot-sweep -join http://127.0.0.1:7077
+//	tevot-sweep -cluster 3 -out fig3.jsonl
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"tevot/internal/circuits"
 	"tevot/internal/core"
+	"tevot/internal/dist"
 	"tevot/internal/experiments"
 	"tevot/internal/obs"
 	"tevot/internal/runner"
@@ -51,9 +69,52 @@ func main() {
 		resume    = flag.Bool("resume", false, "skip cells already in -checkpoint")
 		faultRate = flag.Float64("fault-rate", 0, "inject deterministic transient faults into this fraction of cells (testing)")
 		seed      = flag.Int64("seed", 1, "seed for workloads, retry jitter, and fault injection")
+
+		coordAddr = flag.String("coordinator", "", "run as distributed-sweep coordinator on this address (e.g. 127.0.0.1:7077)")
+		joinURL   = flag.String("join", "", "run as a worker of the coordinator at this URL (e.g. http://127.0.0.1:7077)")
+		clusterN  = flag.Int("cluster", 0, "run an in-process local cluster with this many workers")
+		outPath   = flag.String("out", "", "write merged result JSONL (canonical order; byte-identical across all modes)")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease TTL (workers renew at TTL/3)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	modes := 0
+	for _, on := range []bool{*coordAddr != "", *joinURL != "", *clusterN > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		log.Fatal("-coordinator, -join, and -cluster are mutually exclusive")
+	}
+
+	spec := dist.Spec{
+		Cycles:       *cycles,
+		Images:       *images,
+		ImageSize:    *imgSize,
+		Seed:         *seed,
+		ShardWorkers: *shards,
+	}
+	if *fuName != "" {
+		spec.FUs = []string{*fuName}
+	}
+	spec.Corners = core.Fig3Corners()
+	if *full {
+		spec.Corners = core.TableIGrid().Corners()
+	}
+
+	switch {
+	case *coordAddr != "":
+		coordinatorMain(obsFlags, spec, *coordAddr, *leaseTTL, *ckpt, *resume, *outPath, *seed)
+		return
+	case *joinURL != "":
+		workerMain(obsFlags, *joinURL, *taskTO, *retries, *seed)
+		return
+	case *clusterN > 0:
+		clusterMain(obsFlags, spec, *clusterN, *leaseTTL, *ckpt, *resume, *outPath, *taskTO, *retries, *seed)
+		return
+	}
 
 	run, err := obsFlags.Start("tevot-sweep", *seed, runner.LiveProgress)
 	if err != nil {
@@ -111,6 +172,12 @@ func main() {
 	}
 	fmt.Printf("\n%s\n", rep.Summary())
 	run.Note("report", rep)
+	if *outPath != "" && !interrupted {
+		if err := writeMergedRows(spec, rows, *outPath); err != nil {
+			run.Fatal(err)
+		}
+		run.Log.Info("merged output written", "path", *outPath, "rows", len(rows))
+	}
 	if interrupted {
 		run.SetInterrupted()
 		hint := ""
@@ -122,5 +189,139 @@ func main() {
 	}
 	if rep.Failed > 0 {
 		run.Exit(1)
+	}
+}
+
+// writeMergedRows writes the single-process sweep's rows as the same
+// canonical merged JSONL the distributed coordinator emits — the
+// byte-identity contract between execution modes.
+func writeMergedRows(spec dist.Spec, rows []experiments.DelayRow, path string) error {
+	order, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+	results := make(map[string]json.RawMessage, len(rows))
+	for _, r := range rows {
+		raw, err := dist.MarshalRow(r)
+		if err != nil {
+			return err
+		}
+		results[experiments.Fig3CellKey(r.FU, r.Dataset, r.Corner)] = raw
+	}
+	return dist.WriteMergedFile(path, order, results)
+}
+
+// coordinatorMain runs the distributed-sweep coordinator until the
+// sweep completes, aborts on divergence, or is interrupted.
+func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.Duration, journal string, resume bool, out string, seed int64) {
+	var cp atomic.Pointer[dist.Coordinator]
+	run, err := obsFlags.Start("tevot-sweep-coordinator", seed, func() any {
+		if c := cp.Load(); c != nil {
+			return c.Progress()
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Close()
+
+	coord, err := dist.NewCoordinator(dist.CoordConfig{
+		Spec:     spec,
+		Addr:     addr,
+		LeaseTTL: ttl,
+		Journal:  journal,
+		Resume:   resume,
+		Out:      out,
+	}, nil)
+	if err != nil {
+		run.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = coord.Serve(ctx)
+	p := coord.Progress()
+	run.Note("progress", p)
+	switch {
+	case errors.Is(err, context.Canceled):
+		run.SetInterrupted()
+		hint := ""
+		if journal != "" {
+			hint = fmt.Sprintf(" — rerun with -checkpoint %s -resume to continue", journal)
+		}
+		run.Log.Warn(fmt.Sprintf("interrupted with %d/%d cells done%s", p.Done, p.Cells, hint))
+		run.Exit(130)
+	case err != nil:
+		run.Fatal(err)
+	default:
+		fmt.Printf("sweep complete: %d cells (%d resumed, %d reissued, %d duplicates)\n",
+			p.Cells, p.Resumed, p.Reissues, p.Duplicates)
+		if out != "" {
+			fmt.Printf("merged output: %s\n", out)
+		}
+	}
+}
+
+// workerMain joins a coordinator as one worker process.
+func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries int, seed int64) {
+	run, err := obsFlags.Start("tevot-sweep-worker", seed, runner.LiveProgress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = dist.RunWorker(ctx, dist.WorkerConfig{
+		Coordinator: url,
+		TaskTimeout: taskTO,
+		Retries:     retries,
+	})
+	switch {
+	case errors.Is(err, context.Canceled):
+		run.SetInterrupted()
+		run.Log.Warn("interrupted")
+		run.Exit(130)
+	case err != nil:
+		run.Fatal(err)
+	}
+}
+
+// clusterMain runs coordinator plus N workers inside this process.
+func clusterMain(obsFlags *obs.Flags, spec dist.Spec, n int, ttl time.Duration, journal string, resume bool, out string, taskTO time.Duration, retries int, seed int64) {
+	if out == "" {
+		log.Fatal("-cluster requires -out for the merged result")
+	}
+	run, err := obsFlags.Start("tevot-sweep-cluster", seed, runner.LiveProgress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = dist.RunLocalCluster(ctx, dist.ClusterConfig{
+		Coord: dist.CoordConfig{
+			Spec:     spec,
+			LeaseTTL: ttl,
+			Journal:  journal,
+			Resume:   resume,
+			Out:      out,
+		},
+		Workers: n,
+		Worker:  dist.WorkerConfig{TaskTimeout: taskTO, Retries: retries},
+	})
+	switch {
+	case errors.Is(err, context.Canceled):
+		run.SetInterrupted()
+		run.Exit(130)
+	case err != nil:
+		run.Fatal(err)
+	default:
+		fmt.Printf("cluster sweep complete: merged output at %s\n", out)
 	}
 }

@@ -1,0 +1,75 @@
+// Command tevot-worker is a distributed-sweep worker: it registers
+// with a tevot-sweep coordinator, rebuilds the characterization lab
+// from the coordinator's seed-addressed spec (no operand payloads ever
+// cross the wire), then loops lease → characterize → report until the
+// sweep is done.
+//
+// Workers are disposable. Kill one — SIGKILL included — and its leases
+// expire and the cells are re-issued elsewhere; restart it under the
+// same -id and its stale leases are released immediately. Duplicate
+// executions are safe because every cell is a deterministic function
+// of (spec, cell key); the coordinator byte-checks them.
+//
+// Examples:
+//
+//	tevot-worker -coordinator http://127.0.0.1:7077
+//	tevot-worker -coordinator http://10.0.0.5:7077 -id rack3-a -task-timeout 10m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tevot/internal/dist"
+	"tevot/internal/obs"
+	"tevot/internal/runner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tevot-worker: ")
+	var (
+		coordURL = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://127.0.0.1:7077")
+		id       = flag.String("id", "", "stable worker identity (default w-<hostname>-<pid>); reuse after a restart to release stale leases instantly")
+		taskTO   = flag.Duration("task-timeout", 0, "per-attempt cell deadline (0 = none)")
+		retries  = flag.Int("retries", 1, "retries per cell for transient failures")
+	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	if *coordURL == "" {
+		log.Fatal("-coordinator is required")
+	}
+
+	run, err := obsFlags.Start("tevot-worker", 0, runner.LiveProgress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer run.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	err = dist.RunWorker(ctx, dist.WorkerConfig{
+		ID:          *id,
+		Coordinator: *coordURL,
+		TaskTimeout: *taskTO,
+		Retries:     *retries,
+	})
+	switch {
+	case errors.Is(err, context.Canceled):
+		run.SetInterrupted()
+		run.Log.Warn("interrupted — leases will expire and cells will be re-issued")
+		run.Exit(130)
+	case err != nil:
+		run.Fatal(err)
+	default:
+		run.Log.Info("worker done", "uptime", time.Since(start).Round(time.Second))
+	}
+}

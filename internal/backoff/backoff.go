@@ -1,0 +1,64 @@
+// Package backoff is the repo's one shared retry-delay policy:
+// exponential backoff with deterministic, per-(key, attempt) jitter.
+// It is used by internal/runner for cell retries and by internal/dist
+// for the coordinator/worker HTTP client, so a sweep's retry schedule
+// is reproducible end to end from the run seed alone.
+//
+// The jitter is intentionally NOT drawn from a math/rand source. A
+// *rand.Rand is not safe for concurrent use, and the global rand makes
+// runs irreproducible; both failure modes have bitten retry helpers
+// that started life single-goroutine and later got shared. Instead the
+// jitter factor is a pure function of (seed, key, attempt) folded
+// through FNV-1a — stateless, lock-free, race-free by construction, and
+// identical across processes, which is what lets a distributed sweep's
+// retry traffic be replayed exactly.
+package backoff
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Policy is an exponential-backoff schedule: Base doubling per attempt
+// up to Max, scaled by a deterministic per-(key, attempt) jitter factor
+// in [0.5, 1.5). The zero value is unusable; fill Base and Max (Seed 0
+// is a valid seed). Policy is a value type with no interior state, so
+// one Policy may be shared freely across goroutines.
+type Policy struct {
+	Base time.Duration
+	Max  time.Duration
+	Seed int64
+}
+
+// Delay returns the wait before retry number attempt (0-based: the
+// delay after the first failed attempt is Delay(key, 0)). The key
+// decorrelates concurrent retriers — cells of a sweep, requests to an
+// endpoint — so they do not thundering-herd on the same schedule.
+func (p Policy) Delay(key string, attempt int) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	h := Hash(p.Seed+int64(attempt)*7919, key)
+	jitter := 0.5 + float64(h%1000)/1000
+	return time.Duration(float64(d) * jitter)
+}
+
+// Hash folds a seed and a key through FNV-1a into a stable 64-bit
+// value. It is the shared keyed-hash for every "deterministic but
+// decorrelated" decision in the repo: backoff jitter, fault-injection
+// selection, and any future sampling that must be independent of
+// goroutine scheduling.
+func Hash(seed int64, key string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return h.Sum64()
+}

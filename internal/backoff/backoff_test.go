@@ -1,0 +1,95 @@
+package backoff
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Seed: 42}
+	for attempt := 0; attempt < 10; attempt++ {
+		d1 := p.Delay("fig3/INT_ADD/random_data/v0.8100_t0", attempt)
+		d2 := p.Delay("fig3/INT_ADD/random_data/v0.8100_t0", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic delay %v vs %v", attempt, d1, d2)
+		}
+		// Nominal doubling capped at Max, jitter in [0.5, 1.5).
+		nominal := p.Base
+		for i := 0; i < attempt && nominal < p.Max; i++ {
+			nominal *= 2
+		}
+		if nominal > p.Max {
+			nominal = p.Max
+		}
+		lo, hi := nominal/2, nominal+nominal/2
+		if d1 < lo || d1 >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d1, lo, hi)
+		}
+	}
+}
+
+func TestDelayDecorrelatesKeys(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Seed: 1}
+	seen := map[time.Duration]int{}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[p.Delay(k, 0)]++
+	}
+	if len(seen) < 4 {
+		t.Fatalf("jitter barely varies across keys: %v", seen)
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a := Policy{Base: time.Second, Max: time.Minute, Seed: 1}
+	b := Policy{Base: time.Second, Max: time.Minute, Seed: 2}
+	same := 0
+	for _, k := range []string{"x", "y", "z", "w"} {
+		if a.Delay(k, 0) == b.Delay(k, 0) {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Fatal("seed does not influence the schedule")
+	}
+}
+
+// TestPolicySharedAcrossGoroutines is the race-freedom contract: one
+// Policy value used concurrently must produce the same schedule as
+// sequential use (run under -race in CI).
+func TestPolicySharedAcrossGoroutines(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Seed: 7}
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	want := make([]time.Duration, len(keys))
+	for i, k := range keys {
+		want[i] = p.Delay(k, i%4)
+	}
+	var wg sync.WaitGroup
+	got := make([]time.Duration, len(keys))
+	for i, k := range keys {
+		i, k := i, k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = p.Delay(k, i%4)
+		}()
+	}
+	wg.Wait()
+	for i := range keys {
+		if got[i] != want[i] {
+			t.Fatalf("key %s: concurrent delay %v != sequential %v", keys[i], got[i], want[i])
+		}
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	if Hash(1, "abc") != Hash(1, "abc") {
+		t.Fatal("Hash is unstable")
+	}
+	if Hash(1, "abc") == Hash(2, "abc") {
+		t.Fatal("seed ignored")
+	}
+	if Hash(1, "abc") == Hash(1, "abd") {
+		t.Fatal("key ignored")
+	}
+}

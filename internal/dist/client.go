@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tevot/internal/backoff"
+)
+
+// Client is the retrying JSON client workers use to talk to the
+// coordinator. Transport errors and 5xx/429 responses are retried with
+// the shared seeded-jitter backoff (internal/backoff), honoring
+// Retry-After when the server sends one; 4xx responses are protocol
+// answers, surfaced as typed errors, never retried. All waits respect
+// ctx, so a worker shutting down never blocks on a backoff sleep.
+type Client struct {
+	base    string
+	hc      *http.Client
+	policy  backoff.Policy
+	retries int
+}
+
+// Typed protocol errors the worker's control flow branches on.
+var (
+	// ErrLeaseGone: the coordinator expired (and possibly re-issued) the
+	// lease; the worker must abandon the cell.
+	ErrLeaseGone = errors.New("dist: lease gone")
+	// ErrRunAborted: the run hit a divergence; the worker should exit.
+	ErrRunAborted = errors.New("dist: run aborted")
+)
+
+// NewClient builds a client for the coordinator at base
+// (http://host:port). seed keys the retry jitter so concurrent workers
+// decorrelate their retry storms.
+func NewClient(base string, seed int64) *Client {
+	return &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+		policy: backoff.Policy{
+			Base: 100 * time.Millisecond,
+			Max:  5 * time.Second,
+			Seed: seed,
+		},
+		retries: 8,
+	}
+}
+
+// apiErrorBody mirrors internal/serve's error envelope.
+type apiErrorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// httpStatusError is a non-2xx answer that is not a typed protocol
+// error (used for retry classification and final reporting).
+type httpStatusError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("dist: http %d (%s): %s", e.status, e.code, e.msg)
+}
+
+func retryable(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status == http.StatusTooManyRequests || se.status >= 500
+	}
+	// Anything that never produced an HTTP status (dial refused, reset,
+	// coordinator restarting) is worth retrying.
+	return !errors.Is(err, ErrLeaseGone) && !errors.Is(err, ErrRunAborted) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// post sends one JSON request with retries; resp may be nil.
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		var retryAfter time.Duration
+		retryAfter, last = c.once(ctx, path, body, resp)
+		if last == nil || !retryable(last) || attempt >= c.retries {
+			return last
+		}
+		delay := c.policy.Delay(path, attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// once performs a single HTTP exchange, returning any server-suggested
+// Retry-After alongside the error.
+func (c *Client) once(ctx context.Context, path string, body []byte, resp any) (time.Duration, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer hresp.Body.Close()
+
+	if hresp.StatusCode >= 200 && hresp.StatusCode < 300 {
+		if resp == nil {
+			io.Copy(io.Discard, hresp.Body)
+			return 0, nil
+		}
+		return 0, json.NewDecoder(hresp.Body).Decode(resp)
+	}
+
+	var e apiErrorBody
+	json.NewDecoder(io.LimitReader(hresp.Body, 64<<10)).Decode(&e)
+	switch {
+	case hresp.StatusCode == http.StatusGone:
+		return 0, ErrLeaseGone
+	case hresp.StatusCode == http.StatusConflict:
+		return 0, fmt.Errorf("%w: %s: %s", ErrRunAborted, e.Error.Code, e.Error.Message)
+	}
+	ra := parseRetryAfter(hresp.Header.Get("Retry-After"))
+	return ra, &httpStatusError{status: hresp.StatusCode, code: e.Error.Code, msg: e.Error.Message}
+}
+
+// parseRetryAfter handles the delay-seconds form (the only one this
+// repo's servers emit); HTTP-date forms are ignored.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// Register announces the worker and returns the sweep spec.
+func (c *Client) Register(ctx context.Context, worker string) (Spec, int, error) {
+	var resp registerResponse
+	err := c.post(ctx, "/v1/register", registerRequest{Worker: worker}, &resp)
+	return resp.Spec, resp.ReleasedLeases, err
+}
+
+// Lease asks for work.
+func (c *Client) Lease(ctx context.Context, worker string) (leaseResponse, error) {
+	var resp leaseResponse
+	err := c.post(ctx, "/v1/lease", leaseRequest{Worker: worker}, &resp)
+	return resp, err
+}
+
+// Renew extends a held lease; ErrLeaseGone means abandon the cell.
+func (c *Client) Renew(ctx context.Context, worker, leaseID string) error {
+	return c.post(ctx, "/v1/renew", renewRequest{Worker: worker, LeaseID: leaseID}, nil)
+}
+
+// Report delivers a cell result; duplicate=true means the coordinator
+// already had byte-identical bytes for the cell.
+func (c *Client) Report(ctx context.Context, req resultRequest) (duplicate bool, err error) {
+	var resp resultResponse
+	if err := c.post(ctx, "/v1/result", req, &resp); err != nil {
+		return false, err
+	}
+	return resp.Status == resultDuplicate, nil
+}

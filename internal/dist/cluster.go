@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"tevot/internal/obs"
+)
+
+// ClusterConfig configures an in-process "local cluster": one
+// coordinator plus N worker goroutines over real loopback HTTP. The
+// transport, lease protocol, expiry loop, and merge path are exactly
+// what separate processes exercise — only process boundaries are
+// missing — which makes this the harness for race-detector runs,
+// fault drills (kill a worker goroutine, force lease expiry), and the
+// byte-identity acceptance check against the single-process sweep.
+type ClusterConfig struct {
+	Coord CoordConfig
+	// Workers is the number of in-process workers (default 2).
+	Workers int
+	// Worker is the per-worker template; ID and Coordinator are
+	// assigned by the cluster, and Lab is shared across all workers
+	// (functional units are safe for concurrent characterization).
+	Worker WorkerConfig
+}
+
+// RunLocalCluster runs the sweep to completion (or abort) and returns
+// the coordinator's terminal error. The merged output lands at
+// cfg.Coord.Out, byte-identical to a single-process run of the same
+// spec.
+func RunLocalCluster(ctx context.Context, cfg ClusterConfig) error {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	coord, err := NewCoordinator(cfg.Coord, nil)
+	if err != nil {
+		return err
+	}
+	base, stop, err := coord.Start(ctx)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	lab := cfg.Worker.Lab
+	if lab == nil {
+		lab, err = cfg.Coord.Spec.NewLab()
+		if err != nil {
+			return err
+		}
+	}
+
+	workerErrs := make(chan error, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		wcfg := cfg.Worker
+		wcfg.ID = fmt.Sprintf("local-%d", i)
+		wcfg.Coordinator = base
+		wcfg.Lab = lab
+		go func() { workerErrs <- RunWorker(ctx, wcfg) }()
+	}
+
+	alive := cfg.Workers
+	var lastWorkerErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-coord.Done():
+			// Drain workers: they exit on their next lease poll ("done"
+			// on success, 409 on abort). Bound the wait so a wedged
+			// worker can't hang the cluster teardown.
+			drain := time.NewTimer(30 * time.Second)
+			defer drain.Stop()
+			for alive > 0 {
+				select {
+				case <-workerErrs:
+					alive--
+				case <-drain.C:
+					obs.Logger("dist").Warn("cluster teardown timed out waiting for workers", "remaining", alive)
+					return coord.Err()
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return coord.Err()
+		case werr := <-workerErrs:
+			alive--
+			if werr != nil {
+				lastWorkerErr = werr
+			}
+			if alive == 0 {
+				// Every worker exited but the sweep isn't done — without
+				// external workers joining, it never will be.
+				select {
+				case <-coord.Done():
+					return coord.Err()
+				default:
+				}
+				if lastWorkerErr != nil {
+					return fmt.Errorf("dist: all workers exited before completion: %w", lastWorkerErr)
+				}
+				return fmt.Errorf("dist: all workers exited before completion")
+			}
+		}
+	}
+}
+
+// SingleProcessMerged runs the spec in-process (no HTTP, no leases)
+// and writes the same canonical merged JSONL the coordinator writes —
+// the reference artifact distributed runs are byte-compared against.
+func SingleProcessMerged(ctx context.Context, spec Spec, out string, workers int) error {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	order, err := spec.Cells()
+	if err != nil {
+		return err
+	}
+	lab, err := spec.NewLab()
+	if err != nil {
+		return err
+	}
+	opts := lab.CharOpts(workers)
+	sem := make(chan struct{}, maxInt(workers, 1))
+	results := make(map[string]json.RawMessage, len(order))
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, c := range order {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			row, err := RunCell(ctx, lab, c, opts)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			raw, err := MarshalRow(row)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				results[c.Key()] = raw
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return WriteMergedFile(out, order, results)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+package dist
+
+import "tevot/internal/obs"
+
+// Counters for every decision the coordinator makes about work
+// placement. These are the numbers a failure-mode postmortem reads:
+// leases_expired > 0 means workers died (or stalled past TTL),
+// cells_reissued says how much work was redone, results_duplicate
+// counts the wasted-but-harmless re-executions, and divergences must
+// stay zero forever — a single one aborts the run.
+var (
+	mLeasesGranted     = obs.NewCounter("dist.leases_granted")
+	mLeasesRenewed     = obs.NewCounter("dist.leases_renewed")
+	mLeasesExpired     = obs.NewCounter("dist.leases_expired")
+	mCellsReissued     = obs.NewCounter("dist.cells_reissued")
+	mSpeculativeLeases = obs.NewCounter("dist.speculative_leases")
+	mResultsAccepted   = obs.NewCounter("dist.results_accepted")
+	mResultsDuplicate  = obs.NewCounter("dist.results_duplicate")
+	mLateResults       = obs.NewCounter("dist.late_results")
+	mDivergences       = obs.NewCounter("dist.divergences")
+	mWorkersRegistered = obs.NewCounter("dist.workers_registered")
+	mJournalResumed    = obs.NewCounter("dist.journal_resumed_cells")
+	mHTTPPanics        = obs.NewCounter("dist.http_panics")
+	mHTTPShed          = obs.NewCounter("dist.http_shed")
+	mCellsAbandoned    = obs.NewCounter("dist.cells_abandoned")
+
+	gCellsDone  = obs.NewGauge("dist.cells_done")
+	gLeasesLive = obs.NewGauge("dist.leases_live")
+	gWorkers    = obs.NewGauge("dist.workers")
+
+	hCellSeconds = obs.NewHistogram("dist.cell_seconds", obs.DurationBuckets)
+)

@@ -1,0 +1,104 @@
+package dist
+
+import "encoding/json"
+
+// Wire types for the coordinator's HTTP surface. Every request is a
+// small JSON POST; responses reuse internal/serve's envelope helpers.
+//
+//	POST /v1/register  registerRequest  -> registerResponse
+//	GET  /v1/spec                       -> Spec
+//	POST /v1/lease     leaseRequest     -> leaseResponse
+//	POST /v1/renew     renewRequest     -> renewResponse (410 if gone)
+//	POST /v1/result    resultRequest    -> resultResponse (409 on divergence)
+//	GET  /progress                      -> Progress
+//
+// Status strings rather than HTTP codes carry the normal-path protocol
+// (granted / none / done / accepted / duplicate) so a worker's control
+// flow never parses numeric codes; HTTP error codes are reserved for
+// the exceptional paths (410 lease gone, 409 aborted, 429 shed).
+
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+type registerResponse struct {
+	Spec Spec `json:"spec"`
+	// ReleasedLeases counts leases of this worker's previous incarnation
+	// that re-registration returned to the pool (worker was restarted).
+	ReleasedLeases int `json:"released_leases"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+const (
+	leaseGranted = "granted" // work attached
+	leaseNone    = "none"    // nothing grantable now; retry after RetryMS
+	leaseDone    = "done"    // sweep complete; worker should exit
+)
+
+type leaseResponse struct {
+	Status      string `json:"status"` // granted | none | done
+	LeaseID     string `json:"lease_id,omitempty"`
+	Cell        *Cell  `json:"cell,omitempty"`
+	TTLMS       int64  `json:"ttl_ms,omitempty"`
+	Speculative bool   `json:"speculative,omitempty"`
+	RetryMS     int64  `json:"retry_ms,omitempty"`
+}
+
+type renewRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+type renewResponse struct {
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+type resultRequest struct {
+	Worker   string          `json:"worker"`
+	LeaseID  string          `json:"lease_id"`
+	Key      string          `json:"key"`
+	Value    json.RawMessage `json:"value"`
+	Hash     string          `json:"hash"` // sha256 of Value bytes
+	Attempts int             `json:"attempts"`
+}
+
+const (
+	resultAccepted  = "accepted"
+	resultDuplicate = "duplicate"
+)
+
+type resultResponse struct {
+	Status string `json:"status"` // accepted | duplicate
+}
+
+// WorkerProgress is one worker's row in the coordinator's /progress.
+type WorkerProgress struct {
+	ID         string   `json:"id"`
+	Generation int      `json:"generation"`
+	LeasesHeld int      `json:"leases_held"`
+	CellsDone  int      `json:"cells_done"`
+	Duplicates int      `json:"duplicates"`
+	LastSeenMS int64    `json:"last_seen_ms_ago"`
+	Leases     []string `json:"leases,omitempty"`
+}
+
+// Progress is the coordinator's live state, served at /progress and
+// fed to obs run manifests.
+type Progress struct {
+	Sweep      string           `json:"sweep"`
+	Cells      int              `json:"cells"`
+	Done       int              `json:"done"`
+	Leased     int              `json:"leased"`
+	Pending    int              `json:"pending"`
+	Resumed    int              `json:"resumed"`
+	Duplicates int              `json:"duplicates"`
+	Reissues   int              `json:"reissues"`
+	ElapsedSec float64          `json:"elapsed_sec"`
+	ETASec     float64          `json:"eta_sec,omitempty"`
+	Aborted    bool             `json:"aborted,omitempty"`
+	Divergence *Divergence      `json:"divergence,omitempty"`
+	Workers    []WorkerProgress `json:"workers"`
+}

@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"tevot/internal/backoff"
+	"tevot/internal/core"
+	"tevot/internal/experiments"
+	"tevot/internal/obs"
+	"tevot/internal/runner"
+)
+
+// WorkerConfig configures one worker process (or goroutine, in the
+// in-process local-cluster mode).
+type WorkerConfig struct {
+	// ID identifies the worker to the coordinator. Re-using an ID after
+	// a restart releases the previous incarnation's leases immediately.
+	// Default: w-<hostname>-<pid>.
+	ID string
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// TaskTimeout is the per-attempt cell deadline (0 = none).
+	TaskTimeout time.Duration
+	// Retries is the extra attempts per cell for transient failures.
+	Retries int
+	// Lab, when non-nil, is a pre-built lab shared by in-process
+	// workers (FUnits are safe for concurrent characterization). nil
+	// means build one from the coordinator's spec — the once-per-process
+	// cost the seed-addressed design pays instead of shipping operands.
+	Lab *experiments.Lab
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "local"
+		}
+		c.ID = fmt.Sprintf("w-%s-%d", host, os.Getpid())
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	return c
+}
+
+// RunWorker registers with the coordinator, rebuilds the lab from the
+// published spec, then loops lease → execute → report until the
+// coordinator says the sweep is done (nil), the run aborts
+// (ErrRunAborted), or ctx is cancelled.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Coordinator == "" {
+		return errors.New("dist: worker: coordinator URL required")
+	}
+	log := obs.Logger("dist").With("worker", cfg.ID)
+	client := NewClient(cfg.Coordinator, int64(backoff.Hash(0, cfg.ID)))
+
+	spec, released, err := client.Register(ctx, cfg.ID)
+	if err != nil {
+		return fmt.Errorf("dist: worker %s: register: %w", cfg.ID, err)
+	}
+	if released > 0 {
+		log.Info("re-registered; previous leases released", "released", released)
+	}
+	lab := cfg.Lab
+	if lab == nil {
+		log.Info("building lab from spec", "fingerprint", spec.Fingerprint())
+		start := time.Now()
+		lab, err = spec.NewLab()
+		if err != nil {
+			return fmt.Errorf("dist: worker %s: lab: %w", cfg.ID, err)
+		}
+		log.Info("lab ready", "took", time.Since(start).Round(time.Millisecond))
+	}
+	opts := lab.CharOpts(1)
+
+	idle := backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second,
+		Seed: int64(backoff.Hash(1, cfg.ID))}
+	for idleSpins := 0; ; {
+		lr, err := client.Lease(ctx, cfg.ID)
+		switch {
+		case errors.Is(err, ErrRunAborted):
+			log.Error("run aborted by coordinator", "err", err)
+			return err
+		case err != nil:
+			return fmt.Errorf("dist: worker %s: lease: %w", cfg.ID, err)
+		}
+		switch lr.Status {
+		case leaseDone:
+			log.Info("sweep done; exiting")
+			return nil
+		case leaseNone:
+			idleSpins++
+			delay := idle.Delay("idle", idleSpins)
+			if server := time.Duration(lr.RetryMS) * time.Millisecond; server > delay {
+				delay = server
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		case leaseGranted:
+			idleSpins = 0
+			if err := runLease(ctx, client, log, lab, opts, cfg, lr); err != nil {
+				if errors.Is(err, ErrRunAborted) || errors.Is(err, context.Canceled) {
+					return err
+				}
+				// Cell failed or lease was lost: log and move on — the
+				// lease expires and the coordinator re-issues the cell
+				// (possibly right back to us, where retry may succeed).
+				log.Warn("cell not completed", "cell", lr.Cell.Key(), "err", err)
+			}
+		default:
+			return fmt.Errorf("dist: worker %s: unknown lease status %q", cfg.ID, lr.Status)
+		}
+	}
+}
+
+// runLease executes one leased cell: heartbeat renewals keep the lease
+// alive while the (potentially minutes-long) characterization runs
+// through internal/runner for panic isolation, per-attempt deadlines,
+// and transient retries; the result ships back with its content hash.
+func runLease(ctx context.Context, client *Client, log *slog.Logger,
+	lab *experiments.Lab, opts core.CharacterizeOptions, cfg WorkerConfig, lr leaseResponse) error {
+	cell := *lr.Cell
+	key := cell.Key()
+	ttl := time.Duration(lr.TTLMS) * time.Millisecond
+
+	// cellCtx is cancelled the moment the coordinator disowns the lease,
+	// so a superseded worker stops burning CPU on a cell someone else
+	// now owns.
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbStop := make(chan struct{})
+	hbErr := make(chan error, 1)
+	go func() {
+		interval := ttl / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-cellCtx.Done():
+				return
+			case <-tick.C:
+				if err := client.Renew(cellCtx, cfg.ID, lr.LeaseID); err != nil {
+					if errors.Is(err, ErrLeaseGone) || errors.Is(err, ErrRunAborted) {
+						hbErr <- err
+						cancel()
+						return
+					}
+					log.Warn("renew failed; will retry", "lease", lr.LeaseID, "err", err)
+				}
+			}
+		}
+	}()
+
+	rcfg := runner.Config{
+		Name:        "dist-worker " + cfg.ID,
+		Workers:     1,
+		TaskTimeout: cfg.TaskTimeout,
+		Retries:     cfg.Retries,
+		Seed:        int64(backoff.Hash(2, cfg.ID)),
+	}
+	results, rep, runErr := runner.Run(cellCtx, rcfg, []runner.Task[json.RawMessage]{{
+		Key: key,
+		Run: func(ctx context.Context) (json.RawMessage, error) {
+			row, err := RunCell(ctx, lab, cell, opts)
+			if err != nil {
+				return nil, err
+			}
+			return MarshalRow(row)
+		},
+	}})
+	close(hbStop)
+
+	select {
+	case err := <-hbErr:
+		if errors.Is(err, ErrLeaseGone) {
+			mCellsAbandoned.Inc()
+			return fmt.Errorf("dist: lease %s lost mid-cell: %w", lr.LeaseID, err)
+		}
+		return err
+	default:
+	}
+	if runErr != nil {
+		return runErr
+	}
+	raw, ok := results[key]
+	if !ok {
+		if len(rep.Failures) > 0 {
+			return fmt.Errorf("dist: cell failed: %w", rep.Failures[0])
+		}
+		return fmt.Errorf("dist: cell %s produced no result", key)
+	}
+
+	// Report on the parent ctx: even if the lease just expired, the
+	// result is still valid (determinism) and the coordinator accepts
+	// late results for incomplete cells.
+	dup, err := client.Report(ctx, resultRequest{
+		Worker: cfg.ID, LeaseID: lr.LeaseID, Key: key,
+		Value: raw, Hash: HashValue(raw), Attempts: 1 + rep.Retried,
+	})
+	if err != nil {
+		return fmt.Errorf("dist: report %s: %w", key, err)
+	}
+	if dup {
+		log.Info("result was a duplicate (byte-identical)", "cell", key)
+	} else if lr.Speculative {
+		log.Info("speculative copy won", "cell", key)
+	}
+	return nil
+}

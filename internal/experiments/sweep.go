@@ -26,8 +26,38 @@ func cornerKey(c cells.Corner) string {
 	return fmt.Sprintf("v%.4f_t%g", c.V, c.T)
 }
 
-func fig3CellKey(fu circuits.FU, dataset string, c cells.Corner) string {
+// Fig3CellKey names one (FU, dataset, corner) cell of the Fig. 3 grid.
+// It is the cell's identity everywhere: runner checkpoints, the
+// distributed coordinator's lease table and journal, and the merged
+// result JSONL — one stable key space across all execution modes.
+func Fig3CellKey(fu circuits.FU, dataset string, c cells.Corner) string {
 	return fmt.Sprintf("fig3/%s/%s/%s", fu, dataset, cornerKey(c))
+}
+
+// Fig3Cell characterizes one cell of the Fig. 3 grid. It is a
+// deterministic function of (lab scale, fu, dataset, corner): the
+// operand stream is regenerated from the lab's seed, so any process
+// holding the same Scale reproduces the identical DelayRow — the
+// property that makes distributed execution (internal/dist) safe to
+// retry anywhere.
+func Fig3Cell(ctx context.Context, lab *Lab, fu circuits.FU, dataset string, corner cells.Corner, opts core.CharacterizeOptions) (DelayRow, error) {
+	u, ok := lab.Units[fu]
+	if !ok {
+		return DelayRow{}, fmt.Errorf("experiments: lab has no unit for %v", fu)
+	}
+	s, err := lab.Stream(fu, dataset, false)
+	if err != nil {
+		return DelayRow{}, err
+	}
+	tr, err := core.CharacterizeOptsContext(ctx, u, corner, s, nil, opts)
+	if err != nil {
+		return DelayRow{}, err
+	}
+	return DelayRow{
+		FU: fu, Corner: corner, Dataset: dataset,
+		MeanDelay: tr.MeanDelay(), MaxDelay: tr.MaxDelay,
+		Static: tr.StaticDelay,
+	}, nil
 }
 
 // fig3SweepName fingerprints the sweep's identity and scale so a
@@ -54,26 +84,13 @@ func Fig3Run(ctx context.Context, lab *Lab, corners []cells.Corner, cfg runner.C
 	opts := lab.CharOpts(cfg.Workers)
 	var tasks []runner.Task[DelayRow]
 	for _, fu := range lab.Scale.fus() {
-		u := lab.Units[fu]
 		for _, dataset := range Datasets {
 			for _, corner := range corners {
 				fu, dataset, corner := fu, dataset, corner
 				tasks = append(tasks, runner.Task[DelayRow]{
-					Key: fig3CellKey(fu, dataset, corner),
+					Key: Fig3CellKey(fu, dataset, corner),
 					Run: func(ctx context.Context) (DelayRow, error) {
-						s, err := lab.Stream(fu, dataset, false)
-						if err != nil {
-							return DelayRow{}, err
-						}
-						tr, err := core.CharacterizeOptsContext(ctx, u, corner, s, nil, opts)
-						if err != nil {
-							return DelayRow{}, err
-						}
-						return DelayRow{
-							FU: fu, Corner: corner, Dataset: dataset,
-							MeanDelay: tr.MeanDelay(), MaxDelay: tr.MaxDelay,
-							Static: tr.StaticDelay,
-						}, nil
+						return Fig3Cell(ctx, lab, fu, dataset, corner, opts)
 					},
 				})
 			}
@@ -86,7 +103,7 @@ func Fig3Run(ctx context.Context, lab *Lab, corners []cells.Corner, cfg runner.C
 	for _, fu := range lab.Scale.fus() {
 		for _, dataset := range Datasets {
 			for _, corner := range corners {
-				if r, ok := results[fig3CellKey(fu, dataset, corner)]; ok {
+				if r, ok := results[Fig3CellKey(fu, dataset, corner)]; ok {
 					rows = append(rows, r)
 				}
 			}

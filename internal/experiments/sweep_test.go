@@ -44,7 +44,7 @@ func TestFig3RunWithInjectedFaultsLosesNoCells(t *testing.T) {
 		for _, fu := range lab.Scale.fus() {
 			for _, ds := range Datasets {
 				for _, c := range corners {
-					if inj(fig3CellKey(fu, ds, c), 0) != nil {
+					if inj(Fig3CellKey(fu, ds, c), 0) != nil {
 						seed = s
 					}
 				}

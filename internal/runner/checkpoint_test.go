@@ -173,6 +173,98 @@ func TestCheckpointToleratesTruncatedTail(t *testing.T) {
 	}
 }
 
+// TestCheckpointTruncatesTornTailBeforeAppend is the crash-mid-write
+// hardening contract: the torn final line must be physically truncated
+// out of the file before the resumed run appends, so the re-run cell's
+// fresh entry cannot splice onto the torn bytes and corrupt two entries
+// at once. (Without the truncate, a second resume after the first would
+// hit an unparsable mid-file line and refuse the whole checkpoint.)
+func TestCheckpointTruncatesTornTailBeforeAppend(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	if _, rep, err := Run(context.Background(), Config{Name: "torn", Checkpoint: ckpt}, sweepTasks(6, nil)); err != nil || rep.Failed != 0 {
+		t.Fatalf("seed run: %v", err)
+	}
+	// Crash mid-write: the last entry's line is half-flushed.
+	b := readFile(t, ckpt)
+	trimmed := strings.TrimRight(b, "\n")
+	writeFile(t, ckpt, trimmed[:len(trimmed)-9])
+
+	var executed atomic.Int32
+	_, rep, err := Run(context.Background(), Config{Name: "torn", Checkpoint: ckpt, Resume: true}, sweepTasks(6, &executed))
+	if err != nil || rep.Resumed != 5 || executed.Load() != 1 {
+		t.Fatalf("first resume: err=%v resumed=%d executed=%d", err, rep.Resumed, executed.Load())
+	}
+
+	// The file must now be wholly clean: every line parses, and a second
+	// resume trusts all 6 entries without re-running anything.
+	for i, line := range strings.Split(strings.TrimRight(readFile(t, ckpt), "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d still corrupt after torn-tail resume: %q", i+1, line)
+		}
+	}
+	var executed2 atomic.Int32
+	_, rep2, err := Run(context.Background(), Config{Name: "torn", Checkpoint: ckpt, Resume: true}, sweepTasks(6, &executed2))
+	if err != nil || rep2.Resumed != 6 || executed2.Load() != 0 {
+		t.Fatalf("second resume: err=%v resumed=%d executed=%d", err, rep2.Resumed, executed2.Load())
+	}
+}
+
+// TestCheckpointDropsUnterminatedButParseableTail: an append can flush
+// a whole entry minus its newline. The entry parses, but accepting it
+// while leaving the file unterminated would concatenate the next append
+// onto it. It must count as torn: dropped, truncated, re-run.
+func TestCheckpointDropsUnterminatedButParseableTail(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	if _, _, err := Run(context.Background(), Config{Name: "noterm", Checkpoint: ckpt}, sweepTasks(4, nil)); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, ckpt, strings.TrimRight(readFile(t, ckpt), "\n")) // strip final newline only
+
+	var executed atomic.Int32
+	_, rep, err := Run(context.Background(), Config{Name: "noterm", Checkpoint: ckpt, Resume: true}, sweepTasks(4, &executed))
+	if err != nil || rep.Resumed != 3 || executed.Load() != 1 {
+		t.Fatalf("resume: err=%v resumed=%d executed=%d, want 3/1", err, rep.Resumed, executed.Load())
+	}
+	if !strings.HasSuffix(readFile(t, ckpt), "\n") {
+		t.Fatal("journal still unterminated after resume")
+	}
+}
+
+// TestCheckpointTornHeaderStartsFresh: a kill during the very first
+// write (the header) leaves an unterminated header line; resume must
+// treat the file as empty and rebuild it, not refuse it.
+func TestCheckpointTornHeaderStartsFresh(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	writeFile(t, ckpt, `{"format":"tevot-chec`) // torn mid-header, no newline
+	results, rep, err := Run(context.Background(), Config{Name: "hdr", Checkpoint: ckpt, Resume: true}, sweepTasks(3, nil))
+	if err != nil || rep.Resumed != 0 || len(results) != 3 {
+		t.Fatalf("torn-header resume: err=%v resumed=%d n=%d", err, rep.Resumed, len(results))
+	}
+	var executed atomic.Int32
+	_, rep2, err := Run(context.Background(), Config{Name: "hdr", Checkpoint: ckpt, Resume: true}, sweepTasks(3, &executed))
+	if err != nil || rep2.Resumed != 3 || executed.Load() != 0 {
+		t.Fatalf("rebuilt checkpoint unusable: err=%v resumed=%d executed=%d", err, rep2.Resumed, executed.Load())
+	}
+}
+
+// TestCheckpointRefusesForeignFile: a fully written file that is not a
+// checkpoint (terminated non-header first line) must be refused, never
+// truncated — it may be the user's data.
+func TestCheckpointRefusesForeignFile(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "notes.txt")
+	const content = "do not clobber me\n"
+	writeFile(t, ckpt, content)
+	_, _, err := Run(context.Background(), Config{Name: "foreign", Checkpoint: ckpt, Resume: true}, sweepTasks(2, nil))
+	if err == nil || !strings.Contains(err.Error(), "not a checkpoint file") {
+		t.Fatalf("foreign file accepted: err=%v", err)
+	}
+	if readFile(t, ckpt) != content {
+		t.Fatal("foreign file was modified")
+	}
+}
+
 // TestCheckpointRejectsMidFileCorruption: corruption before the tail is
 // not an interrupted write and must fail loudly instead of silently
 // dropping cells.

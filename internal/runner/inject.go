@@ -2,7 +2,8 @@ package runner
 
 import (
 	"fmt"
-	"hash/fnv"
+
+	"tevot/internal/backoff"
 )
 
 // FaultFn is the runner's fault-injection hook. It is consulted before
@@ -36,15 +37,7 @@ func NewFaultInjector(seed int64, rate float64) FaultFn {
 	}
 }
 
-// keyHash folds the seed and key through FNV-1a, giving a stable 64-bit
-// value used for both injection decisions and backoff jitter.
-func keyHash(seed int64, key string) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(uint64(seed) >> (8 * i))
-	}
-	h.Write(b[:])
-	h.Write([]byte(key))
-	return h.Sum64()
-}
+// keyHash folds the seed and key through the shared backoff.Hash,
+// keeping injection decisions on the same stable keyed hash as the
+// retry jitter (the two must stay decorrelated only via their seeds).
+func keyHash(seed int64, key string) uint64 { return backoff.Hash(seed, key) }

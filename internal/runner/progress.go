@@ -13,16 +13,17 @@ import (
 // route — which corner cells are done, how much retry budget is burned,
 // and an ETA extrapolated from the trailing cell-latency histogram.
 var (
-	mCellsTotal   = obs.NewCounter("runner.cells_total")
-	mCellsOK      = obs.NewCounter("runner.cells_ok")
-	mCellsFailed  = obs.NewCounter("runner.cells_failed")
-	mCellsResumed = obs.NewCounter("runner.cells_resumed")
-	mAttempts     = obs.NewCounter("runner.attempts")
-	mRetries      = obs.NewCounter("runner.retries")
-	mPanics       = obs.NewCounter("runner.panics")
-	mTimeouts     = obs.NewCounter("runner.timeouts")
-	mCkptFlushes  = obs.NewCounter("runner.checkpoint_flushes")
-	hCellSeconds  = obs.NewHistogram("runner.cell_seconds", obs.DurationBuckets)
+	mCellsTotal    = obs.NewCounter("runner.cells_total")
+	mCellsOK       = obs.NewCounter("runner.cells_ok")
+	mCellsFailed   = obs.NewCounter("runner.cells_failed")
+	mCellsResumed  = obs.NewCounter("runner.cells_resumed")
+	mAttempts      = obs.NewCounter("runner.attempts")
+	mRetries       = obs.NewCounter("runner.retries")
+	mPanics        = obs.NewCounter("runner.panics")
+	mTimeouts      = obs.NewCounter("runner.timeouts")
+	mCkptFlushes   = obs.NewCounter("runner.checkpoint_flushes")
+	mCkptTornTails = obs.NewCounter("runner.checkpoint_torn_tails")
+	hCellSeconds   = obs.NewHistogram("runner.cell_seconds", obs.DurationBuckets)
 )
 
 // progressState is the live state of the most recent sweep; counters

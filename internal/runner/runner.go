@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"tevot/internal/backoff"
 	"tevot/internal/obs"
 )
 
@@ -195,21 +196,14 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 	}
 
 	var done map[string]json.RawMessage
-	var cw *checkpointWriter
+	var jnl *Journal
 	if cfg.Checkpoint != "" {
-		if cfg.Resume {
-			var err error
-			done, err = loadCheckpoint(cfg.Checkpoint, cfg.Name)
-			if err != nil {
-				return nil, rep, err
-			}
-		}
 		var err error
-		cw, err = openCheckpoint(cfg.Checkpoint, cfg.Name, cfg.Resume)
+		jnl, done, err = OpenJournal(cfg.Checkpoint, cfg.Name, cfg.Resume)
 		if err != nil {
 			return nil, rep, err
 		}
-		defer cw.close()
+		defer jnl.Close()
 	}
 
 	todo := make([]Task[R], 0, len(tasks))
@@ -299,10 +293,10 @@ func Run[R any](ctx context.Context, cfg Config, tasks []Task[R]) (map[string]R,
 		}
 		results[r.key] = r.value
 		rep.Succeeded++
-		if cw != nil && infraErr == nil {
+		if jnl != nil && infraErr == nil {
 			raw, err := json.Marshal(r.value)
 			if err == nil {
-				err = cw.record(r.key, r.attempts, raw)
+				err = jnl.Record(r.key, r.attempts, raw)
 			}
 			if err != nil {
 				infraErr = fmt.Errorf("runner: writing checkpoint %s: %w", cfg.Checkpoint, err)
@@ -414,18 +408,12 @@ func runAttempt[R any](ctx context.Context, cfg Config, t Task[R], attempt int) 
 
 // backoffDelay is Backoff·2^attempt capped at MaxBackoff, scaled by a
 // deterministic per-(key, attempt) jitter factor in [0.5, 1.5) —
-// reproducible across runs, decorrelated across cells.
+// reproducible across runs, decorrelated across cells. The schedule
+// lives in internal/backoff, shared with the distributed-sweep HTTP
+// client so one seed reproduces both layers' retry timing.
 func backoffDelay(cfg Config, key string, attempt int) time.Duration {
-	d := cfg.Backoff
-	for i := 0; i < attempt && d < cfg.MaxBackoff; i++ {
-		d *= 2
-	}
-	if d > cfg.MaxBackoff {
-		d = cfg.MaxBackoff
-	}
-	h := keyHash(cfg.Seed+int64(attempt)*7919, key)
-	jitter := 0.5 + float64(h%1000)/1000
-	return time.Duration(float64(d) * jitter)
+	p := backoff.Policy{Base: cfg.Backoff, Max: cfg.MaxBackoff, Seed: cfg.Seed}
+	return p.Delay(key, attempt)
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled; it reports whether

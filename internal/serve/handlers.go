@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"runtime/debug"
 	"time"
 
 	"tevot/internal/obs"
@@ -24,7 +23,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
-			writeError(w, http.StatusNotFound, "not_found", "unknown route")
+			WriteError(w, http.StatusNotFound, "not_found", "unknown route")
 			return
 		}
 		fmt.Fprintf(w, "tevot-serve\n\nGET  /healthz\nGET  /readyz\nPOST /v1/predict\nPOST /admin/reload\n")
@@ -33,40 +32,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/admin/reload", s.handleReload)
-	return s.recoverMiddleware(mux)
-}
-
-// recoverMiddleware converts a handler-goroutine panic into a 500 and a
-// metric instead of a dead connection: net/http would recover the panic
-// anyway, but only after killing the connection, and without a trace of
-// it in the serving metrics.
-func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if p := recover(); p != nil {
-				mPanics.Inc()
-				obs.Logger("serve").Error("handler panic recovered",
-					"path", r.URL.Path, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
-				// Best effort: if the handler already wrote headers this
-				// write is a no-op on the status line.
-				writeError(w, http.StatusInternalServerError, "internal_panic", "internal error")
-			}
-		}()
-		next.ServeHTTP(w, r)
-	})
+	// Panic isolation via the shared middleware (middleware.go); the
+	// queue-based admission for /v1/predict stays inside handlePredict
+	// because shedding happens after validation there.
+	return Recover("serve", mPanics.Inc, mux)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	st := s.state.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":           "ready",
 		"fu":               st.model.FU.String(),
 		"model_generation": st.generation,
@@ -84,7 +66,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		mBad.Inc()
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
 	if s.draining.Load() {
@@ -92,7 +74,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// kept-alive connection can still land here; shed it.
 		mShed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "draining", "server is draining")
+		WriteError(w, http.StatusTooManyRequests, "draining", "server is draining")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -106,16 +88,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		mBad.Inc()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			WriteError(w, http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Sprintf("body exceeds the %d-byte cap", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, "malformed_json", err.Error())
+		WriteError(w, http.StatusBadRequest, "malformed_json", err.Error())
 		return
 	}
 	if err := req.validate(s.cfg.MaxPairs, s.cfg.MaxClocks); err != nil {
 		mBad.Inc()
-		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		WriteError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
 
@@ -129,7 +111,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	default:
 		mShed.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "overloaded",
+		WriteError(w, http.StatusTooManyRequests, "overloaded",
 			fmt.Sprintf("admission queue full (%d deep); retry with backoff", s.cfg.QueueDepth))
 		return
 	}
@@ -139,30 +121,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case res.err == nil:
 			mServed.Inc()
-			writeJSON(w, http.StatusOK, res.resp)
+			WriteJSON(w, http.StatusOK, res.resp)
 		case errors.Is(res.err, errDraining):
 			mShed.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "draining", "server is draining")
+			WriteError(w, http.StatusTooManyRequests, "draining", "server is draining")
 		case errors.Is(res.err, context.DeadlineExceeded):
 			mTimeouts.Inc()
-			writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+			WriteError(w, http.StatusServiceUnavailable, "deadline_exceeded",
 				fmt.Sprintf("request exceeded the %v server-side deadline", s.cfg.RequestTimeout))
 		default:
 			mInternal.Inc()
 			obs.Logger("serve").Error("prediction failed", "err", res.err)
-			writeError(w, http.StatusInternalServerError, "prediction_failed", "internal error")
+			WriteError(w, http.StatusInternalServerError, "prediction_failed", "internal error")
 		}
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			mTimeouts.Inc()
-			writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+			WriteError(w, http.StatusServiceUnavailable, "deadline_exceeded",
 				fmt.Sprintf("request exceeded the %v server-side deadline", s.cfg.RequestTimeout))
 			return
 		}
 		// Client went away; the status is written into the void but the
 		// outcome must still be accounted.
 		mCanceled.Inc()
-		writeError(w, http.StatusServiceUnavailable, "client_gone", "request cancelled")
+		WriteError(w, http.StatusServiceUnavailable, "client_gone", "request cancelled")
 	}
 }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLimitShedsBeyondCap: with n requests parked inside the handler,
+// request n+1 is shed immediately with 429 + Retry-After, and capacity
+// frees once a parked request finishes.
+func TestLimitShedsBeyondCap(t *testing.T) {
+	const cap = 3
+	entered := make(chan struct{}, cap)
+	release := make(chan struct{})
+	var shed atomic.Int64
+	h := Limit(cap, func() { shed.Add(1) }, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	for i := 0; i < cap; i++ {
+		<-entered
+	}
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var e apiError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != "overloaded" {
+		t.Fatalf("shed body code = %q err=%v, want overloaded", e.Error.Code, err)
+	}
+	resp.Body.Close()
+	if shed.Load() != 1 {
+		t.Fatalf("onShed fired %d times, want 1", shed.Load())
+	}
+
+	close(release)
+	wg.Wait()
+	resp2, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain request got %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestLimitZeroIsUnlimited: n <= 0 disables the cap entirely.
+func TestLimitZeroIsUnlimited(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if h := Limit(0, nil, inner); h.(http.HandlerFunc) == nil {
+		t.Fatal("Limit(0) should return the handler unchanged")
+	}
+	rec := httptest.NewRecorder()
+	Limit(0, nil, inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+}

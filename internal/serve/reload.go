@@ -116,7 +116,7 @@ func probeModel(m *core.Model) (err error) {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
 	var body struct {
@@ -124,16 +124,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, 4096)
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, "malformed_json", err.Error())
+		WriteError(w, http.StatusBadRequest, "malformed_json", err.Error())
 		return
 	}
 	gen, err := s.Reload(body.Path)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "reload_failed", err.Error())
+		WriteError(w, http.StatusUnprocessableEntity, "reload_failed", err.Error())
 		return
 	}
 	st := s.state.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
+	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":           "reloaded",
 		"model_generation": gen,
 		"path":             st.path,

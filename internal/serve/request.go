@@ -81,14 +81,17 @@ type apiError struct {
 	} `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, code, message string) {
+// WriteError writes the structured error envelope (exported for the
+// coordinator and any other tevot HTTP surface).
+func WriteError(w http.ResponseWriter, status int, code, message string) {
 	var e apiError
 	e.Error.Code = code
 	e.Error.Message = message
-	writeJSON(w, status, e)
+	WriteJSON(w, status, e)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	// Encoding errors past WriteHeader have nowhere to go; the client

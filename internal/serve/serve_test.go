@@ -304,8 +304,7 @@ func TestPanicIsolation(t *testing.T) {
 // TestRecoverMiddleware: a panic in the handler goroutine itself (not
 // the worker pool) becomes a 500, not a dead connection.
 func TestRecoverMiddleware(t *testing.T) {
-	s, _ := newTestServer(t, nil)
-	h := s.recoverMiddleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	h := Recover("serve", mPanics.Inc, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("handler goroutine panic")
 	}))
 	rec := httptest.NewRecorder()

@@ -31,6 +31,12 @@ go test -race -short -run \
 	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \
 	./internal/core
 
+echo "== distributed sweep: local cluster under race, kills + forced expiry"
+go test -race -run 'TestLocalClusterByteIdentical|TestCoordinatorResumesFromJournal' ./internal/dist
+
+echo "== distributed sweep smoke: real processes, SIGKILL a worker mid-run"
+sh scripts/cluster_smoke.sh
+
 echo "== go test -race ./..."
 go test -race ./...
 

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Distributed-sweep smoke drill, run as real processes:
+#
+#   1. single-process sweep -> reference merged JSONL;
+#   2. coordinator + two worker processes over loopback HTTP;
+#   3. SIGKILL one worker after its first results land (its leases
+#      expire and the cells are re-issued to the survivor);
+#   4. assert the distributed run exits 0 and its merged JSONL is
+#      byte-identical to the single-process reference.
+#
+# This is the end-to-end counterpart of internal/dist's in-process
+# cluster tests: same protocol, plus real process boundaries, real
+# sockets, and a real SIGKILL.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+cleanup() {
+	for pid in "$COORD_PID" "$W1_PID" "$W2_PID"; do
+		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+SWEEP_FLAGS="-cycles 300 -fu INT_ADD -images 1 -imgsize 12 -seed 1"
+
+echo "-- building binaries"
+go build -o "$TMP/tevot-sweep" ./cmd/tevot-sweep
+go build -o "$TMP/tevot-worker" ./cmd/tevot-worker
+
+echo "-- single-process reference sweep"
+"$TMP/tevot-sweep" $SWEEP_FLAGS -out "$TMP/ref.jsonl" >/dev/null 2>&1
+
+echo "-- coordinator + 2 workers, SIGKILL one mid-run"
+"$TMP/tevot-sweep" $SWEEP_FLAGS -coordinator 127.0.0.1:0 -lease-ttl 3s \
+	-checkpoint "$TMP/journal.jsonl" -out "$TMP/dist.jsonl" \
+	>"$TMP/coord.out" 2>"$TMP/coord.log" &
+COORD_PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(grep -o 'addr=http://[0-9.:]*' "$TMP/coord.log" 2>/dev/null | head -1 | cut -d= -f2) || true
+	[ -n "$ADDR" ] && break
+	kill -0 "$COORD_PID" 2>/dev/null || { echo "FAIL: coordinator died at startup"; cat "$TMP/coord.log"; exit 1; }
+	sleep 0.1
+	i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "FAIL: coordinator never logged its address"; cat "$TMP/coord.log"; exit 1; }
+
+"$TMP/tevot-worker" -coordinator "$ADDR" -id smoke-a >/dev/null 2>"$TMP/w1.log" &
+W1_PID=$!
+"$TMP/tevot-worker" -coordinator "$ADDR" -id smoke-b >/dev/null 2>"$TMP/w2.log" &
+W2_PID=$!
+
+# Wait for at least one completed cell so the kill happens mid-run.
+i=0
+DONE=0
+while [ $i -lt 200 ]; do
+	DONE=$(curl -s "$ADDR/progress" 2>/dev/null | grep -o '"done":[0-9]*' | head -1 | cut -d: -f2) || true
+	[ "${DONE:-0}" -ge 1 ] && break
+	sleep 0.1
+	i=$((i + 1))
+done
+[ "${DONE:-0}" -ge 1 ] || { echo "FAIL: no cell completed before kill window"; exit 1; }
+
+kill -9 "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+echo "   killed worker smoke-a at done=$DONE; survivor finishes the sweep"
+
+COORD_EXIT=0
+wait "$COORD_PID" || COORD_EXIT=$?
+COORD_PID=""
+[ "$COORD_EXIT" -eq 0 ] || { echo "FAIL: coordinator exit $COORD_EXIT"; cat "$TMP/coord.log"; exit 1; }
+wait "$W2_PID" 2>/dev/null || { echo "FAIL: surviving worker failed"; cat "$TMP/w2.log"; exit 1; }
+W2_PID=""
+
+cmp "$TMP/ref.jsonl" "$TMP/dist.jsonl" || {
+	echo "FAIL: distributed output differs from single-process reference"
+	exit 1
+}
+echo "   merged output byte-identical to single-process run"
