@@ -47,6 +47,8 @@ type dtaResult struct {
 	P95         float64
 	MaxDelay    float64
 	StaticDelay float64
+	MemoHits    int64
+	MemoMisses  int64
 	ShmooClocks []float64
 	ShmooTER    []float64
 }
@@ -68,6 +70,7 @@ func main() {
 		workers = flag.Int("workers", 0, "runner worker count (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "simulation shards for the characterization (0 = GOMAXPROCS)")
 		refKern = flag.Bool("ref-kernel", false, "simulate on the reference heap kernel (slow; for auditing the fast kernel)")
+		memoSet = flag.String("memo", "on", "transition memo cache: on, off, or an entry cap (bit-identical either way)")
 		taskTO  = flag.Duration("task-timeout", 0, "characterization deadline (0 = none), e.g. 5m")
 		retries = flag.Int("retries", 1, "retries for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (replays a completed analysis)")
@@ -179,7 +182,14 @@ func main() {
 	defer stop()
 
 	shmooN := *shmoo
-	opts := core.CharacterizeOptions{Workers: *shards, RefKernel: *refKern}
+	memo, err := core.ParseMemoSetting(*memoSet)
+	if err != nil {
+		run.Fatal(err)
+	}
+	opts := core.CharacterizeOptions{
+		Workers: *shards, RefKernel: *refKern,
+		MemoOff: memo.MemoOff, MemoSize: memo.MemoSize,
+	}
 	key := fmt.Sprintf("dta/%s/v%.4f_t%g", fu, corner.V, corner.T)
 	task := runner.Task[dtaResult]{
 		Key: key,
@@ -232,6 +242,10 @@ func main() {
 	}
 	fmt.Printf("cycles      %d\n", res.Cycles)
 	fmt.Printf("events      %d (%.0f per cycle)\n", res.Events, float64(res.Events)/float64(res.Cycles))
+	if res.MemoHits+res.MemoMisses > 0 {
+		fmt.Printf("memo        %.1f%% hit rate (%d hits, %d misses)\n",
+			100*float64(res.MemoHits)/float64(res.MemoHits+res.MemoMisses), res.MemoHits, res.MemoMisses)
+	}
 	fmt.Printf("mean delay  %.1f ps\n", res.MeanDelay)
 	fmt.Printf("p50 / p95   %.1f / %.1f ps\n", res.P50, res.P95)
 	fmt.Printf("max delay   %.1f ps (%.1f%% of static)\n", res.MaxDelay, 100*res.MaxDelay/res.StaticDelay)
@@ -271,6 +285,8 @@ func characterize(ctx context.Context, u *core.FUnit, corner cells.Corner, strea
 		MeanDelay:   tr.MeanDelay(),
 		MaxDelay:    tr.MaxDelay,
 		StaticDelay: tr.StaticDelay,
+		MemoHits:    tr.MemoHits,
+		MemoMisses:  tr.MemoMisses,
 	}
 	delays := append([]float64(nil), tr.Delays...)
 	sort.Float64s(delays)

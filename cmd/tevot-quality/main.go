@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"tevot/internal/cells"
+	"tevot/internal/core"
 	"tevot/internal/experiments"
 	"tevot/internal/imaging"
 	"tevot/internal/obs"
@@ -39,6 +40,7 @@ func main() {
 		outDir  = flag.String("outdir", "", "write Fig. 4 PNG outputs to this directory")
 		seed    = flag.Int64("seed", 1, "global seed")
 		shards  = flag.Int("shards", 0, "simulation shards per characterization (0 = auto)")
+		memoSet = flag.String("memo", "on", "transition memo cache: on, off, or an entry cap (bit-identical either way)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -57,6 +59,12 @@ func main() {
 	scale.AppStreamCap = *cycles
 	scale.Seed = *seed
 	scale.ShardWorkers = *shards
+	memo, err := core.ParseMemoSetting(*memoSet)
+	if err != nil {
+		run.Fatal(err)
+	}
+	scale.MemoOff = memo.MemoOff
+	scale.MemoSize = memo.MemoSize
 	scale.Corners = scale.Corners[:0]
 	for i := 0; i < *nCorner; i++ {
 		v := 0.81 + 0.19*float64(i)/math.Max(1, float64(*nCorner-1))

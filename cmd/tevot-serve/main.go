@@ -49,6 +49,8 @@ func main() {
 		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes; larger bodies answer 413")
 		maxPairs  = flag.Int("max-pairs", 4097, "operand pairs per request cap")
+		auditN    = flag.Int("audit-cycles", 0, "simulate this many cycles at startup and report model-vs-ground-truth RMSE (0 = off)")
+		memoSet   = flag.String("memo", "on", "transition memo cache for the startup audit: on, off, or an entry cap")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -79,6 +81,20 @@ func main() {
 	f.Close()
 	if err != nil {
 		run.Fatalf("loading %s: %v", *modelPath, err)
+	}
+
+	if *auditN > 0 {
+		memo, err := core.ParseMemoSetting(*memoSet)
+		if err != nil {
+			run.Fatal(err)
+		}
+		rep, err := serve.Audit(context.Background(), model, serve.AuditConfig{
+			Cycles: *auditN, Seed: 1, MemoOff: memo.MemoOff, MemoSize: memo.MemoSize,
+		})
+		if err != nil {
+			run.Fatal(err)
+		}
+		run.Note("startup audit", rep)
 	}
 
 	s, err := serve.New(serve.Config{

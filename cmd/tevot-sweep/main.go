@@ -63,6 +63,7 @@ func main() {
 
 		workers   = flag.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "simulation shards per cell (0 = auto: GOMAXPROCS/workers)")
+		memoSet   = flag.String("memo", "on", "transition memo cache: on, off, or an entry cap (bit-identical either way)")
 		taskTO    = flag.Duration("task-timeout", 0, "per-cell deadline (0 = none), e.g. 5m")
 		retries   = flag.Int("retries", 1, "retries per cell for transient failures")
 		ckpt      = flag.String("checkpoint", "", "JSONL checkpoint file (written as cells complete)")
@@ -130,6 +131,12 @@ func main() {
 	scale.AppStreamCap = *cycles
 	scale.Seed = *seed
 	scale.ShardWorkers = *shards
+	memo, err := core.ParseMemoSetting(*memoSet)
+	if err != nil {
+		run.Fatal(err)
+	}
+	scale.MemoOff = memo.MemoOff
+	scale.MemoSize = memo.MemoSize
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {

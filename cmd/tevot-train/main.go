@@ -54,6 +54,7 @@ func main() {
 
 		workers = flag.Int("workers", 0, "concurrent per-FU pipelines (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 0, "simulation shards per characterization (0 = auto: GOMAXPROCS/workers)")
+		memoSet = flag.String("memo", "on", "transition memo cache: on, off, or an entry cap (bit-identical either way)")
 		taskTO  = flag.Duration("task-timeout", 0, "per-pipeline deadline (0 = none), e.g. 30m")
 		retries = flag.Int("retries", 1, "retries per pipeline for transient failures")
 		ckpt    = flag.String("checkpoint", "", "JSONL checkpoint file (written as pipelines complete)")
@@ -88,6 +89,12 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.ShardWorkers = *shards
+	memo, err := core.ParseMemoSetting(*memoSet)
+	if err != nil {
+		run.Fatal(err)
+	}
+	scale.MemoOff = memo.MemoOff
+	scale.MemoSize = memo.MemoSize
 	if *fuName != "" {
 		fu, err := circuits.ParseFU(*fuName)
 		if err != nil {

@@ -7,6 +7,8 @@ import (
 
 	"tevot/internal/cells"
 	"tevot/internal/circuits"
+	"tevot/internal/imaging"
+	"tevot/internal/inject"
 	"tevot/internal/workload"
 )
 
@@ -35,7 +37,10 @@ func BenchmarkCharacterizeParallel(b *testing.B) {
 			cycles := stream.Len() - 1
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tr, err := CharacterizeOpts(u, corner, stream, clocks, CharacterizeOptions{Workers: w})
+				// MemoOff pins this benchmark to the uncached kernel so its
+				// cycles/s stays comparable across the committed baselines;
+				// BenchmarkCharacterizeMemo owns the cached numbers.
+				tr, err := CharacterizeOpts(u, corner, stream, clocks, CharacterizeOptions{Workers: w, MemoOff: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -44,6 +49,55 @@ func BenchmarkCharacterizeParallel(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkCharacterizeMemo is the acceptance benchmark for the
+// transition memo: characterization throughput on a real imaging operand
+// stream (Sobel over 8 synthetic 32x32 images, INT_MUL native stream),
+// memo on vs off. The on-variant also reports the memo hit rate; the
+// speedup over memo=off tracks 1/(1-hitrate) because the hit path costs
+// almost nothing next to an INT_MUL event cascade.
+func BenchmarkCharacterizeMemo(b *testing.B) {
+	rec := inject.NewRecording(20000)
+	for _, img := range imaging.SyntheticSet(8, 32, 32) {
+		inject.SobelApp.Run(img, rec)
+	}
+	stream, err := rec.Stream(circuits.IntMul32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream.Name = "sobel_bench"
+	u, err := NewFUnit(circuits.IntMul32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corner := cells.Corner{V: 0.85, T: 50}
+	clocks := []float64{600}
+	if _, err := u.Static(corner); err != nil {
+		b.Fatal(err)
+	}
+	for _, memoOff := range []bool{false, true} {
+		name := "memo=on"
+		if memoOff {
+			name = "memo=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cycles := stream.Len() - 1
+			var hits, misses int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr, err := CharacterizeOpts(u, corner, stream, clocks, CharacterizeOptions{Workers: 1, MemoOff: memoOff})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits, misses = tr.MemoHits, tr.MemoMisses
+			}
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+			}
 		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"tevot/internal/cells"
@@ -21,6 +22,14 @@ import (
 var (
 	mCyclesSimulated = obs.NewCounter("core.cycles_simulated")
 	mSimEvents       = obs.NewCounter("core.sim_events")
+
+	// Transition-memo accounting, merged once per characterization from
+	// the per-shard runners; the gauge tracks the latest run's mean
+	// fraction of gates the bitslice window proved cold.
+	mMemoHits        = obs.NewCounter("sim.memo_hits")
+	mMemoMisses      = obs.NewCounter("sim.memo_misses")
+	mMemoEvictions   = obs.NewCounter("sim.memo_evictions")
+	gSlicePrunedFrac = obs.NewGauge("sim.slice_pruned_gates")
 )
 
 // Trace is the outcome of dynamic timing analysis for one functional
@@ -47,11 +56,32 @@ type Trace struct {
 	// MaxDelay is the largest observed dynamic delay.
 	MaxDelay float64
 	// Events is the total number of simulation events (effort metric).
+	// A cycle served from the transition memo reports its cached event
+	// count, so Events is identical with the cache on or off.
 	Events int
+
+	// MemoHits/MemoMisses/MemoEvictions aggregate the per-shard
+	// transition-memo counters (all zero when the memo is off).
+	MemoHits      int64
+	MemoMisses    int64
+	MemoEvictions int64
+	// SliceWindows and SlicePrunedGateWindows aggregate the bitslice
+	// prepass counters: windows engaged, and gate-windows proved cold.
+	SliceWindows           int64
+	SlicePrunedGateWindows int64
 }
 
 // Cycles returns the number of simulated cycles.
 func (t *Trace) Cycles() int { return len(t.Delays) }
+
+// HitRate returns the transition-memo hit rate of the characterization,
+// MemoHits / (MemoHits + MemoMisses); 0 when the memo was off.
+func (t *Trace) HitRate() float64 {
+	if t.MemoHits+t.MemoMisses == 0 {
+		return 0
+	}
+	return float64(t.MemoHits) / float64(t.MemoHits+t.MemoMisses)
+}
 
 // TER returns the measured timing-error rate at clock index k.
 func (t *Trace) TER(k int) float64 {
@@ -100,7 +130,46 @@ type CharacterizeOptions struct {
 	// default calendar-queue kernel. The two are bit-identical (the sim
 	// package's differential suite enforces it), so this only trades
 	// speed for an independent code path — an audit tool, not a mode.
+	// RefKernel also implies MemoOff: the oracle stays a pure,
+	// unaccelerated second opinion.
 	RefKernel bool
+
+	// MemoOff disables the per-runner transition memo cache. The memo is
+	// on by default because it is bit-identical to the uncached kernel
+	// (a cycle's outcome is a pure function of the (prev, cur) input
+	// transition for a fixed netlist and delay annotation — the same
+	// purity that makes sharding exact, see above); turn it off for
+	// streams with no transition repeats, where lookups are pure
+	// overhead.
+	MemoOff bool
+	// MemoSize caps the memo at that many cached transitions (LRU
+	// beyond it); <= 0 selects sim.DefaultMemoSize.
+	MemoSize int
+}
+
+// memoOn reports whether characterization should enable the transition
+// memo (and its bitslice window prepass) on its runners.
+func (o CharacterizeOptions) memoOn() bool { return !o.MemoOff && !o.RefKernel }
+
+// ParseMemoSetting parses a CLI -memo flag value: "on" (default cache
+// size), "off", or a positive integer entry cap.
+func ParseMemoSetting(s string) (opts struct {
+	MemoOff  bool
+	MemoSize int
+}, err error) {
+	switch s {
+	case "", "on":
+		return opts, nil
+	case "off":
+		opts.MemoOff = true
+		return opts, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return opts, fmt.Errorf("core: -memo wants on, off, or a positive entry cap; got %q", s)
+	}
+	opts.MemoSize = n
+	return opts, nil
 }
 
 // shardCount resolves the effective shard count for an n-cycle stream:
@@ -221,9 +290,13 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 	if opts.RefKernel {
 		newRunner = u.NewRefRunner
 	}
+	memo := opts.memoOn()
 	for w := range runners {
 		if runners[w], err = newRunner(corner); err != nil {
 			return nil, err
+		}
+		if memo {
+			runners[w].EnableMemo(opts.MemoSize)
 		}
 	}
 
@@ -236,13 +309,13 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 		lo, hi := w*n/shards, (w+1)*n/shards
 		if shards == 1 {
 			// Sequential path: run inline, no goroutine.
-			errs[0] = characterizeShard(ctx, runners[0], s, clocks, tr, lo, hi, &events[0], &maxes[0])
+			errs[0] = characterizeShard(ctx, runners[0], s, clocks, tr, lo, hi, &events[0], &maxes[0], memo)
 			continue
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = characterizeShard(ctx, runners[w], s, clocks, tr, lo, hi, &events[w], &maxes[w])
+			errs[w] = characterizeShard(ctx, runners[w], s, clocks, tr, lo, hi, &events[w], &maxes[w], memo)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -259,6 +332,25 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 			tr.MaxDelay = maxes[w]
 		}
 	}
+	if memo {
+		var ss sim.SliceStats
+		for _, r := range runners {
+			ms := r.MemoStats()
+			tr.MemoHits += ms.Hits
+			tr.MemoMisses += ms.Misses
+			tr.MemoEvictions += ms.Evictions
+			rs := r.SliceStats()
+			tr.SliceWindows += rs.Windows
+			tr.SlicePrunedGateWindows += rs.PrunedGateWindows
+			ss.Gates = rs.Gates
+		}
+		ss.Windows = tr.SliceWindows
+		ss.PrunedGateWindows = tr.SlicePrunedGateWindows
+		mMemoHits.Add(tr.MemoHits)
+		mMemoMisses.Add(tr.MemoMisses)
+		mMemoEvictions.Add(tr.MemoEvictions)
+		gSlicePrunedFrac.Set(ss.PrunedFraction())
+	}
 	endMerge()
 	mSimEvents.Add(int64(tr.Events))
 	return tr, nil
@@ -267,9 +359,23 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 // characterizeShard simulates cycles [lo, hi) of the stream on its own
 // runner, settling the circuit at pair lo first, and writes the
 // per-cycle results into the shard's disjoint region of tr.
-func characterizeShard(ctx context.Context, r *sim.Runner, s *workload.Stream, clocks []float64, tr *Trace, lo, hi int, events *int, maxDelay *float64) error {
+//
+// With the memo on, the shard also declares upcoming input vectors to
+// the runner in bitslice windows (sim.BeginWindow): the window's one
+// bit-parallel zero-delay sweep turns each post-hit re-settle into lane
+// extraction over the window's dirty nets.
+func characterizeShard(ctx context.Context, r *sim.Runner, s *workload.Stream, clocks []float64, tr *Trace, lo, hi int, events *int, maxDelay *float64, memo bool) error {
 	prev := make([]bool, circuits.OperandBits)
 	cur := make([]bool, circuits.OperandBits)
+	var winVecs [][]bool
+	if memo {
+		back := make([]bool, sim.WindowMax*circuits.OperandBits)
+		winVecs = make([][]bool, sim.WindowMax)
+		for k := range winVecs {
+			winVecs[k] = back[k*circuits.OperandBits : (k+1)*circuits.OperandBits]
+		}
+	}
+	winEnd := lo + 1 // first cycle runs un-windowed to key the memo
 	circuits.EncodeOperandsInto(s.Pairs[lo].A, s.Pairs[lo].B, prev)
 	for i := lo; i < hi; i++ {
 		if (i-lo)&255 == 0 {
@@ -278,6 +384,19 @@ func characterizeShard(ctx context.Context, r *sim.Runner, s *workload.Stream, c
 				return ctx.Err()
 			default:
 			}
+		}
+		if memo && i >= winEnd {
+			m := hi - i
+			if m > sim.WindowMax {
+				m = sim.WindowMax
+			}
+			for k := 0; k < m; k++ {
+				circuits.EncodeOperandsInto(s.Pairs[i+1+k].A, s.Pairs[i+1+k].B, winVecs[k])
+			}
+			if err := r.BeginWindow(winVecs[:m]); err != nil {
+				return err
+			}
+			winEnd = i + m
 		}
 		circuits.EncodeOperandsInto(s.Pairs[i+1].A, s.Pairs[i+1].B, cur)
 		cy, err := r.Cycle(prev, cur)

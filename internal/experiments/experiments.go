@@ -43,6 +43,10 @@ type Scale struct {
 	// across the pool, shards inside a cell — compose without
 	// oversubscribing the machine.
 	ShardWorkers int
+	// MemoOff disables the simulator's transition memo cache; MemoSize
+	// caps its entries (0 = sim default). See core.CharacterizeOptions.
+	MemoOff  bool
+	MemoSize int
 }
 
 // CharOpts resolves the two-level worker budget: with W cell-level
@@ -61,7 +65,7 @@ func (l *Lab) CharOpts(cellWorkers int) core.CharacterizeOptions {
 			w = 1
 		}
 	}
-	return core.CharacterizeOptions{Workers: w}
+	return core.CharacterizeOptions{Workers: w, MemoOff: l.Scale.MemoOff, MemoSize: l.Scale.MemoSize}
 }
 
 // Small returns a laptop-scale configuration that exercises every code

@@ -28,6 +28,11 @@ type CSR struct {
 	// GateIn holds each gate's input nets padded to PinsPerGate entries
 	// (-1 for unused pins): gate g's pin j reads net GateIn[g*PinsPerGate+j].
 	GateIn []int32
+	// Topo lists gate ids in topological order (inputs before readers),
+	// for sweeps that evaluate the whole netlist in one pass, such as
+	// the simulator's bitslice prepass. Nil if the netlist is cyclic —
+	// but cyclic netlists never reach a runner (NewRunner checks).
+	Topo []int32
 }
 
 // PinsPerGate is the fixed per-gate input stride of CSR.GateIn: the cell
@@ -80,6 +85,12 @@ func (n *Netlist) CSR() *CSR {
 			c.GateIn[gi*PinsPerGate+pin] = int32(in)
 			c.FanoutEdges[cursor[in]] = int32(gi)<<2 | int32(pin)
 			cursor[in]++
+		}
+	}
+	if order, err := n.TopoOrder(); err == nil {
+		c.Topo = make([]int32, len(order))
+		for i, g := range order {
+			c.Topo[i] = int32(g)
 		}
 	}
 	n.csr = c

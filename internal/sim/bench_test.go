@@ -68,3 +68,29 @@ func BenchmarkCycle(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCycleMemo measures the transition-memo hit path: the same
+// vector ring as BenchmarkCycle with every transition already cached, so
+// each Cycle is key packing + one LRU lookup + rehydration. This is the
+// per-cycle ceiling a fully repeating workload reaches; BenchmarkCycle
+// is the all-miss floor.
+func BenchmarkCycleMemo(b *testing.B) {
+	for _, fu := range circuits.AllFUs {
+		b.Run(fu.String(), func(b *testing.B) {
+			r, vecs := steadyMemoRunner(b, fu)
+			before := r.MemoStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Cycle(nil, vecs[i%len(vecs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := r.MemoStats()
+			lookups := s.Hits + s.Misses - before.Hits - before.Misses
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			b.ReportMetric(100*float64(s.Hits-before.Hits)/float64(lookups), "hit%")
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -23,10 +24,43 @@ type obsRecord struct {
 	val bool
 }
 
-// runKernelDiff drives both kernels through the same cycle sequence and
-// fails on the first observable divergence. Vectors alternate between
-// streaming mode (prev == nil) and explicit-prev settles to cover the
-// fast kernel's incremental and rebuilt input-bitset paths.
+// compareCycles fails on any observable divergence between a candidate
+// CycleResult and the reference one.
+func compareCycles(t *testing.T, label string, cycle int, got, want *CycleResult) {
+	t.Helper()
+	if got.Delay != want.Delay {
+		t.Fatalf("cycle %d: Delay %s=%v ref=%v", cycle, label, got.Delay, want.Delay)
+	}
+	if got.Events != want.Events {
+		t.Fatalf("cycle %d: Events %s=%d ref=%d", cycle, label, got.Events, want.Events)
+	}
+	for i := range want.Settled {
+		if got.Settled[i] != want.Settled[i] {
+			t.Fatalf("cycle %d: Settled[%d] %s=%v ref=%v", cycle, i, label, got.Settled[i], want.Settled[i])
+		}
+	}
+	for oi := range want.Toggles {
+		if len(got.Toggles[oi]) != len(want.Toggles[oi]) {
+			t.Fatalf("cycle %d output %d: %d toggles %s, %d ref",
+				cycle, oi, len(got.Toggles[oi]), label, len(want.Toggles[oi]))
+		}
+		for k := range want.Toggles[oi] {
+			if got.Toggles[oi][k] != want.Toggles[oi][k] {
+				t.Fatalf("cycle %d output %d toggle %d: %s=%+v ref=%+v",
+					cycle, oi, k, label, got.Toggles[oi][k], want.Toggles[oi][k])
+			}
+		}
+	}
+}
+
+// runKernelDiff drives four runners through the same cycle sequence and
+// fails on the first observable divergence: the fast and reference
+// kernels (with observers, comparing full transition streams), a
+// memoized fast runner, and a memoized runner fed bitslice windows.
+// Vectors alternate between streaming mode (prev == nil) and
+// explicit-prev settles to cover the fast kernel's incremental and
+// rebuilt input-bitset paths; about half the vectors repeat earlier ones
+// so the memo runners exercise their hit and post-hit re-settle paths.
 func runKernelDiff(t *testing.T, nl *netlist.Netlist, delays []float64, seed int64, cycles int) {
 	t.Helper()
 	fast, err := NewRunner(nl, delays)
@@ -40,6 +74,16 @@ func runKernelDiff(t *testing.T, nl *netlist.Netlist, delays []float64, seed int
 	if fast.Ref() || !ref.Ref() {
 		t.Fatal("kernel selection mixed up")
 	}
+	memo, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.EnableMemo(0)
+	memoWin, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoWin.EnableMemo(0)
 	var fastObs, refObs []obsRecord
 	fast.SetObserver(func(n netlist.NetID, at float64, v bool) {
 		fastObs = append(fastObs, obsRecord{n, at, v})
@@ -49,19 +93,54 @@ func runKernelDiff(t *testing.T, nl *netlist.Netlist, delays []float64, seed int
 	})
 	rng := rand.New(rand.NewSource(seed))
 	ni := len(nl.PrimaryInputs)
-	randVec := func() []bool {
+	// Pre-generate the whole vector sequence (vecs[0] is the initial
+	// settled state; cycle c applies vecs[c+1]) so windows can be
+	// declared ahead of time. Half the vectors repeat earlier ones.
+	vecs := make([][]bool, cycles+1)
+	for c := range vecs {
+		if c > 1 && rng.Intn(2) == 1 {
+			// Reuse one of the last few vectors: short A/B/A-style loops
+			// make (prev, cur) transition pairs repeat within the run.
+			back := rng.Intn(min(c, 4))
+			vecs[c] = vecs[c-1-back]
+			continue
+		}
 		v := make([]bool, ni)
 		for i := range v {
 			v[i] = rng.Intn(2) == 1
 		}
-		return v
+		vecs[c] = v
 	}
-	prev := randVec()
+	// The memo runner looks up every cycle (no observer, keyed from
+	// cycle 0's explicit prev), so its hit count must equal the exact
+	// number of repeated transitions in the sequence.
+	wantHits := int64(0)
+	seenPair := make(map[string]bool)
+	for c := 0; c < cycles; c++ {
+		key := fmt.Sprint(vecs[c], vecs[c+1])
+		if seenPair[key] {
+			wantHits++
+		}
+		seenPair[key] = true
+	}
+	winEnd := 1 // cycle 0 keys the memo; windows cover later cycles
 	for cycle := 0; cycle < cycles; cycle++ {
-		cur := randVec()
+		cur := vecs[cycle+1]
 		var prevArg []bool
 		if cycle == 0 || cycle%7 == 3 {
-			prevArg = prev
+			prevArg = vecs[cycle]
+		}
+		if cycle >= winEnd {
+			// Short windows so the suite crosses window boundaries and
+			// re-begins often, including across explicit-prev settles.
+			m := cycles - cycle
+			if m > 5 {
+				m = 5
+			}
+			if err := memoWin.BeginWindow(vecs[cycle+1 : cycle+1+m]); err != nil {
+				t.Fatal(err)
+			}
+			winEnd = cycle + m
 		}
 		fastObs, refObs = fastObs[:0], refObs[:0]
 		fr, err := fast.Cycle(prevArg, cur)
@@ -72,29 +151,17 @@ func runKernelDiff(t *testing.T, nl *netlist.Netlist, delays []float64, seed int
 		if err != nil {
 			t.Fatal(err)
 		}
-		if fr.Delay != rr.Delay {
-			t.Fatalf("cycle %d: Delay fast=%v ref=%v", cycle, fr.Delay, rr.Delay)
+		mr, err := memo.Cycle(prevArg, cur)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if fr.Events != rr.Events {
-			t.Fatalf("cycle %d: Events fast=%d ref=%d", cycle, fr.Events, rr.Events)
+		wr, err := memoWin.Cycle(prevArg, cur)
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i := range rr.Settled {
-			if fr.Settled[i] != rr.Settled[i] {
-				t.Fatalf("cycle %d: Settled[%d] fast=%v ref=%v", cycle, i, fr.Settled[i], rr.Settled[i])
-			}
-		}
-		for oi := range rr.Toggles {
-			if len(fr.Toggles[oi]) != len(rr.Toggles[oi]) {
-				t.Fatalf("cycle %d output %d: %d toggles fast, %d ref",
-					cycle, oi, len(fr.Toggles[oi]), len(rr.Toggles[oi]))
-			}
-			for k := range rr.Toggles[oi] {
-				if fr.Toggles[oi][k] != rr.Toggles[oi][k] {
-					t.Fatalf("cycle %d output %d toggle %d: fast=%+v ref=%+v",
-						cycle, oi, k, fr.Toggles[oi][k], rr.Toggles[oi][k])
-				}
-			}
-		}
+		compareCycles(t, "fast", cycle, fr, rr)
+		compareCycles(t, "memo", cycle, mr, rr)
+		compareCycles(t, "memo+window", cycle, wr, rr)
 		if len(fastObs) != len(refObs) {
 			t.Fatalf("cycle %d: observer saw %d transitions fast, %d ref",
 				cycle, len(fastObs), len(refObs))
@@ -105,7 +172,12 @@ func runKernelDiff(t *testing.T, nl *netlist.Netlist, delays []float64, seed int
 					cycle, k, fastObs[k], refObs[k])
 			}
 		}
-		prev = cur
+	}
+	if s := memo.MemoStats(); s.Hits != wantHits {
+		t.Fatalf("memo runner hits = %d, want %d (stats %+v)", s.Hits, wantHits, s)
+	}
+	if s := memoWin.MemoStats(); s.Hits != wantHits {
+		t.Fatalf("windowed memo runner hits = %d, want %d (stats %+v)", s.Hits, wantHits, s)
 	}
 }
 

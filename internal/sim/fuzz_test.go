@@ -38,6 +38,15 @@ func TestFuzzSimulatorAgainstEval(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// A memoized shadow runner with a deliberately tiny cache: the
+		// small input spaces (4..8 bits) repeat transitions naturally, so
+		// this fuzzes the hit, post-hit re-settle, and eviction paths
+		// against the uncached kernel on every circuit.
+		m, err := NewRunner(nl, static.GateDelay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.EnableMemo(8)
 		rng := rand.New(rand.NewSource(seed + 1000))
 		ni := len(nl.PrimaryInputs)
 		randVec := func() []bool {
@@ -54,6 +63,11 @@ func TestFuzzSimulatorAgainstEval(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			mres, err := m.Cycle(prev, cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareCycles(t, "memo", cycle, mres, res)
 			want, err := nl.Eval(cur)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tevot/internal/cells"
+	"tevot/internal/netlist"
+	"tevot/internal/sta"
+)
+
+// memoFixture builds a random circuit with STA delays, a plain fast
+// runner as the in-test oracle, and a repeat-heavy vector sequence
+// (vecs[0] is the initial settled state).
+func memoFixture(t *testing.T, seed int64, cycles int) (*netlist.Netlist, []float64, *Runner, [][]bool) {
+	t.Helper()
+	nl, err := netlist.Random(netlist.RandomOptions{Inputs: 6, Gates: 50, Outputs: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays, err := sta.GateDelays(nl, cells.Corner{V: 0.85, T: 50}, sta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 77))
+	pool := make([][]bool, 4)
+	for p := range pool {
+		v := make([]bool, 6)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		pool[p] = v
+	}
+	vecs := make([][]bool, cycles+1)
+	for c := range vecs {
+		vecs[c] = pool[rng.Intn(len(pool))]
+	}
+	return nl, delays, plain, vecs
+}
+
+// TestMemoThrashCacheSizeOne runs a capacity-1 cache through a
+// repeat-heavy stream: every conflicting store evicts, entry storage is
+// reused constantly, and results stay bit-identical to the uncached
+// runner throughout.
+func TestMemoThrashCacheSizeOne(t *testing.T) {
+	const cycles = 120
+	_, delays, plain, vecs := memoFixture(t, 11, cycles)
+	memo, err := NewRunner(plain.Netlist(), delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.EnableMemo(1)
+	for c := 0; c < cycles; c++ {
+		var prevArg []bool
+		if c == 0 {
+			prevArg = vecs[0]
+		}
+		pr, err := plain.Cycle(prevArg, vecs[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := memo.Cycle(prevArg, vecs[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareCycles(t, "memo(cap=1)", c, mr, pr)
+	}
+	s := memo.MemoStats()
+	if !s.Enabled || s.Capacity != 1 || s.Entries != 1 {
+		t.Fatalf("unexpected cache shape: %+v", s)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("capacity-1 cache over a 4-vector pool should thrash; stats %+v", s)
+	}
+	if s.Hits+s.Misses != cycles {
+		t.Fatalf("lookups = %d, want one per cycle (%d)", s.Hits+s.Misses, cycles)
+	}
+}
+
+// TestMemoObserverBypass pins the SetObserver fix: with an observer
+// attached, the memo is bypassed (no lookups, no stores), so the
+// observer sees the full per-net transition stream of every cycle even
+// on transitions the warmed cache could serve.
+func TestMemoObserverBypass(t *testing.T) {
+	const cycles = 40
+	_, delays, plain, vecs := memoFixture(t, 23, cycles)
+	memo, err := NewRunner(plain.Netlist(), delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.EnableMemo(0)
+
+	// Warm the cache over the whole sequence, observer detached.
+	if _, err := memo.Cycle(vecs[0], vecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < cycles; c++ {
+		if _, err := memo.Cycle(nil, vecs[c+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := memo.MemoStats()
+	if warm.Hits == 0 {
+		t.Fatalf("4-vector pool over %d cycles produced no hits: %+v", cycles, warm)
+	}
+
+	// Replay with observers on both runners: streams must match exactly,
+	// and the memo must not be consulted at all.
+	var memoObs, plainObs []obsRecord
+	memo.SetObserver(func(n netlist.NetID, at float64, v bool) {
+		memoObs = append(memoObs, obsRecord{n, at, v})
+	})
+	plain.SetObserver(func(n netlist.NetID, at float64, v bool) {
+		plainObs = append(plainObs, obsRecord{n, at, v})
+	})
+	for c := 0; c < cycles; c++ {
+		var prevArg []bool
+		if c == 0 {
+			prevArg = vecs[0]
+		}
+		memoObs, plainObs = memoObs[:0], plainObs[:0]
+		pr, err := plain.Cycle(prevArg, vecs[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := memo.Cycle(prevArg, vecs[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareCycles(t, "memo+observer", c, mr, pr)
+		if len(memoObs) != len(plainObs) {
+			t.Fatalf("cycle %d: observer saw %d transitions with memo, %d plain",
+				c, len(memoObs), len(plainObs))
+		}
+		for k := range plainObs {
+			if memoObs[k] != plainObs[k] {
+				t.Fatalf("cycle %d observer record %d: memo=%+v plain=%+v",
+					c, k, memoObs[k], plainObs[k])
+			}
+		}
+	}
+	after := memo.MemoStats()
+	if after.Hits != warm.Hits || after.Misses != warm.Misses {
+		t.Fatalf("observer-attached cycles touched the memo: before %+v, after %+v", warm, after)
+	}
+
+	// Detaching the observer re-enables the cache.
+	memo.SetObserver(nil)
+	if _, err := memo.Cycle(nil, vecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if s := memo.MemoStats(); s.Hits+s.Misses != after.Hits+after.Misses+1 {
+		t.Fatalf("detached observer should resume lookups: %+v", s)
+	}
+}
+
+// TestMemoDisableMidStream disables the cache right after a hit (event
+// state stale) and checks the next streaming cycles still match the
+// uncached runner — the windowless re-settle path with the cache gone.
+func TestMemoDisableMidStream(t *testing.T) {
+	const cycles = 60
+	_, delays, plain, vecs := memoFixture(t, 31, cycles)
+	memo, err := NewRunner(plain.Netlist(), delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.EnableMemo(0)
+	disabled := false
+	for c := 0; c < cycles; c++ {
+		var prevArg []bool
+		if c == 0 {
+			prevArg = vecs[0]
+		}
+		pr, err := plain.Cycle(prevArg, vecs[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := memo.Cycle(prevArg, vecs[c+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareCycles(t, "memo(mid-disable)", c, mr, pr)
+		if !disabled && memo.MemoStats().Hits > 0 {
+			// The last cycle was served from the cache, so the event
+			// state is stale at the moment we disable.
+			memo.DisableMemo()
+			disabled = true
+		}
+	}
+	if !disabled {
+		t.Fatal("stream never hit the cache; fixture too cold")
+	}
+	if s := memo.MemoStats(); s.Enabled {
+		t.Fatalf("stats still enabled after DisableMemo: %+v", s)
+	}
+}
+
+// TestMemoWindowDivergence declares a bitslice window and then feeds the
+// runner different vectors: the window must deactivate and every result
+// must still match the uncached runner, including the post-hit
+// re-settle that can no longer use lane extraction.
+func TestMemoWindowDivergence(t *testing.T) {
+	const cycles = 40
+	_, delays, plain, vecs := memoFixture(t, 47, cycles)
+	memo, err := NewRunner(plain.Netlist(), delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo.EnableMemo(0)
+	if pr, err := plain.Cycle(vecs[0], vecs[1]); err != nil {
+		t.Fatal(err)
+	} else if mr, err := memo.Cycle(vecs[0], vecs[1]); err != nil {
+		t.Fatal(err)
+	} else {
+		compareCycles(t, "memo(window-divergence)", 0, mr, pr)
+	}
+	// Declare the true upcoming vectors... then betray the declaration
+	// at the second window position with a vector that cannot match.
+	if err := memo.BeginWindow(vecs[2:10]); err != nil {
+		t.Fatal(err)
+	}
+	flip := make([]bool, len(vecs[0]))
+	for c := 1; c < cycles; c++ {
+		cur := vecs[c+1]
+		if c == 2 {
+			for i, b := range cur {
+				flip[i] = !b
+			}
+			cur = flip
+		}
+		pr, err := plain.Cycle(nil, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := memo.Cycle(nil, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareCycles(t, "memo(window-divergence)", c, mr, pr)
+	}
+	if s := memo.SliceStats(); s.Windows != 1 {
+		t.Fatalf("expected exactly one engaged window, stats %+v", s)
+	}
+}
+
+// TestBeginWindowErrors pins the preconditions: fast kernel only, memo
+// enabled and keyed, settled state, 1..WindowMax vectors of the right
+// width.
+func TestBeginWindowErrors(t *testing.T) {
+	_, delays, plain, vecs := memoFixture(t, 59, 4)
+	nl := plain.Netlist()
+	vec6 := vecs[0]
+
+	ref, err := NewRefRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.BeginWindow([][]bool{vec6}); err == nil {
+		t.Fatal("BeginWindow on the reference kernel should fail")
+	}
+
+	r, err := NewRunner(nl, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BeginWindow([][]bool{vec6}); err == nil {
+		t.Fatal("BeginWindow without a memo cache should fail")
+	}
+	r.EnableMemo(0)
+	if err := r.BeginWindow([][]bool{vec6}); err == nil {
+		t.Fatal("BeginWindow before the first keyed cycle should fail")
+	}
+	if _, err := r.Cycle(vecs[0], vecs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BeginWindow(nil); err == nil {
+		t.Fatal("BeginWindow with no vectors should fail")
+	}
+	tooMany := make([][]bool, WindowMax+1)
+	for i := range tooMany {
+		tooMany[i] = vec6
+	}
+	if err := r.BeginWindow(tooMany); err == nil {
+		t.Fatalf("BeginWindow with %d vectors should fail", len(tooMany))
+	}
+	if err := r.BeginWindow([][]bool{make([]bool, 3)}); err == nil {
+		t.Fatal("BeginWindow with a short vector should fail")
+	}
+	if err := r.BeginWindow([][]bool{vec6}); err != nil {
+		t.Fatalf("valid BeginWindow failed: %v", err)
+	}
+}
+
+// TestMemoStatsShape covers the bookkeeping: default sizing, hit-rate
+// arithmetic, and the disabled zero value.
+func TestMemoStatsShape(t *testing.T) {
+	_, delays, plain, _ := memoFixture(t, 71, 4)
+	r, err := NewRunner(plain.Netlist(), delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.MemoStats(); s.Enabled || s.Capacity != 0 {
+		t.Fatalf("memo-off stats should be zero: %+v", s)
+	}
+	r.EnableMemo(0)
+	if s := r.MemoStats(); !s.Enabled || s.Capacity != DefaultMemoSize {
+		t.Fatalf("EnableMemo(0) should select DefaultMemoSize: %+v", s)
+	}
+	if (MemoStats{}).HitRate() != 0 {
+		t.Fatal("zero-lookup hit rate should be 0")
+	}
+	if hr := (MemoStats{Hits: 3, Misses: 1}).HitRate(); hr != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", hr)
+	}
+}

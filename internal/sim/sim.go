@@ -152,6 +152,19 @@ type Runner struct {
 	observer Observer
 	settled  bool // val holds a settled state from a previous cycle
 
+	// Transition memo cache (memo.go). packPrev always holds the packed
+	// key of the vector the circuit is logically settled at (once
+	// keyValid); lastVec is that vector itself, kept for re-settling
+	// after a hit leaves the event state stale (valStale).
+	memo     *memoCache
+	keyValid bool
+	valStale bool
+	packPrev []uint64
+	packCur  []uint64
+	keyBuf   []byte
+	lastVec  []bool
+	slice    bitslice // fast kernel: zero-delay window prepass (bitslice.go)
+
 	// refKernel selects the heap oracle; the fields below it belong to
 	// one kernel each.
 	refKernel bool
@@ -233,7 +246,11 @@ func newRunner(nl *netlist.Netlist, delays []float64, refKernel bool) (*Runner, 
 // Ref reports whether this Runner uses the reference heap kernel.
 func (r *Runner) Ref() bool { return r.refKernel }
 
-// SetObserver registers a transition observer (nil to remove).
+// SetObserver registers a transition observer (nil to remove). While an
+// observer is attached, the transition memo cache is bypassed — a
+// cached hit skips event processing and could not replay the per-net
+// transition stream — so the observer sees every toggle of every cycle
+// even with the memo enabled.
 func (r *Runner) SetObserver(o Observer) { r.observer = o }
 
 // InitialOutputs returns the output values at the start of the last
@@ -249,6 +266,11 @@ func (r *Runner) Netlist() *netlist.Netlist { return r.nl }
 // nil the settled state from the previous Cycle call is reused (the
 // normal streaming mode, which also makes consecutive cycles share state
 // exactly like the real register file would).
+//
+// With the transition memo enabled (EnableMemo) and no observer
+// attached, a transition seen before returns its cached outcome without
+// event processing — bit-identical to a simulated cycle, rehydrated
+// into the same reusable result buffers.
 func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 	nl := r.nl
 	if len(cur) != len(nl.PrimaryInputs) {
@@ -257,10 +279,36 @@ func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 	if prev == nil && !r.settled {
 		return nil, fmt.Errorf("sim: first Cycle call requires an explicit previous vector")
 	}
-	if prev != nil {
-		if len(prev) != len(nl.PrimaryInputs) {
-			return nil, fmt.Errorf("sim: got %d previous inputs, want %d", len(prev), len(nl.PrimaryInputs))
+	if prev != nil && len(prev) != len(nl.PrimaryInputs) {
+		return nil, fmt.Errorf("sim: got %d previous inputs, want %d", len(prev), len(nl.PrimaryInputs))
+	}
+
+	// Transition memo: pack the (prev, cur) key and advance the window
+	// cursor before anything else, so hit and miss paths stay in step
+	// with the stream position. A hit returns the cached cycle and
+	// leaves the event state stale; the next miss re-settles it below.
+	li := -1
+	useMemo := false
+	if r.memo != nil {
+		packBits(cur, r.packCur)
+		if prev != nil {
+			packBits(prev, r.packPrev)
+			r.keyValid = true
 		}
+		li = r.sliceMatch()
+		useMemo = r.keyValid && r.observer == nil
+		if useMemo {
+			if e := r.memo.lookup(r.memoKey()); e != nil {
+				r.rehydrate(e)
+				r.valStale = true
+				r.finishMemo(cur)
+				r.settled = true
+				return &r.res, nil
+			}
+		}
+	}
+
+	if prev != nil {
 		if err := nl.EvalInto(prev, r.val); err != nil {
 			return nil, err
 		}
@@ -270,6 +318,23 @@ func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 			// incrementally during event processing.
 			r.rebuildInVals()
 		}
+		r.slice.valPos = -1
+		r.valStale = false
+	} else if r.valStale {
+		// A memo hit skipped event processing; re-settle at the vector
+		// the circuit is logically at — by lane extraction when a
+		// bitslice window covers it, by full re-evaluation otherwise.
+		if r.slice.active && li >= 1 {
+			r.sliceSettle(li - 1)
+		} else {
+			if err := nl.EvalInto(r.lastVec, r.val); err != nil {
+				return nil, err
+			}
+			if !r.refKernel {
+				r.rebuildInVals()
+			}
+		}
+		r.valStale = false
 	}
 	copy(r.proj, r.val)
 	for i, po := range nl.PrimaryOutputs {
@@ -291,8 +356,28 @@ func (r *Runner) Cycle(prev, cur []bool) (*CycleResult, error) {
 	for i, po := range nl.PrimaryOutputs {
 		res.Settled[i] = r.val[po]
 	}
+	if r.slice.active && li >= 1 {
+		// val is now settled at cur, which the window knows as lane li.
+		r.slice.valPos = li
+	}
+	if useMemo {
+		r.memo.store(r.memoKey(), res, r.initOut)
+	}
+	if r.memo != nil {
+		r.finishMemo(cur)
+	}
 	r.settled = true
 	return res, nil
+}
+
+// finishMemo rolls the memo key state forward after a cycle: the circuit
+// is now logically settled at cur, so cur's packed form becomes the next
+// cycle's prev key and lastVec remembers the vector itself for
+// re-settling after hits.
+func (r *Runner) finishMemo(cur []bool) {
+	r.packPrev, r.packCur = r.packCur, r.packPrev
+	r.keyValid = true
+	copy(r.lastVec, cur)
 }
 
 // mark queues a gate for re-evaluation in the current batch, once: the

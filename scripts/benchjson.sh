@@ -14,7 +14,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkCharacterizeParallel|BenchmarkForestPredictBatch|BenchmarkCycle|BenchmarkCounterInc|BenchmarkHistogramObserve' \
+	-bench 'BenchmarkCharacterizeParallel|BenchmarkCharacterizeMemo|BenchmarkForestPredictBatch|BenchmarkCycle|BenchmarkCounterInc|BenchmarkHistogramObserve' \
 	-benchmem -count 1 \
 	./internal/core ./internal/ml ./internal/sim ./internal/obs | tee "$tmp"
 

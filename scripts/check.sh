@@ -26,6 +26,10 @@ go test -run 'TestSigtermFlushesCheckpointAndManifest' ./cmd/tevot-sweep
 echo "== kernel equivalence: calendar-queue vs reference heap, every FU"
 go test -run 'TestKernelDiffFUs' ./internal/sim
 
+echo "== memo equivalence: transition memo + bitslice windows vs uncached kernels"
+go test -run 'TestKernelDiffRandom|TestMemo|TestBeginWindowErrors' ./internal/sim
+go test -run 'TestMemoHitRateImagingStreams' ./internal/core
+
 echo "== determinism: sharded DTA bit-identity + singleflight (race)"
 go test -race -short -run \
 	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \
