@@ -81,7 +81,7 @@ func main() {
 
 	run, err := obsFlags.Start("tevot-dta", *seed, runner.LiveProgress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

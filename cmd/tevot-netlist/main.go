@@ -38,7 +38,7 @@ func main() {
 
 	run, err := obsFlags.Start("tevot-netlist", 0, nil)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

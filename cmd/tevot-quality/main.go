@@ -47,7 +47,7 @@ func main() {
 
 	run, err := obsFlags.Start("tevot-quality", *seed, nil)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

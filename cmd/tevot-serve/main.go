@@ -66,7 +66,7 @@ func main() {
 	}
 	run, err := obsFlags.Start("tevot-serve", 0, progress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

@@ -87,7 +87,7 @@ func main() {
 		}
 	}
 	if modes > 1 {
-		log.Fatal("-coordinator, -join, and -cluster are mutually exclusive")
+		log.Fatal("-coordinator, -join, and -cluster are mutually exclusive") // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 
 	spec := dist.Spec{
@@ -119,7 +119,7 @@ func main() {
 
 	run, err := obsFlags.Start("tevot-sweep", *seed, runner.LiveProgress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 
@@ -229,7 +229,7 @@ func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.
 		return nil
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 
@@ -275,7 +275,7 @@ func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.
 func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries int, seed int64) {
 	run, err := obsFlags.Start("tevot-sweep-worker", seed, runner.LiveProgress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 
@@ -300,11 +300,11 @@ func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries i
 // clusterMain runs coordinator plus N workers inside this process.
 func clusterMain(obsFlags *obs.Flags, spec dist.Spec, n int, ttl time.Duration, journal string, resume bool, out string, taskTO time.Duration, retries int, seed int64) {
 	if out == "" {
-		log.Fatal("-cluster requires -out for the merged result")
+		log.Fatal("-cluster requires -out for the merged result") // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	run, err := obsFlags.Start("tevot-sweep-cluster", seed, runner.LiveProgress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

@@ -66,7 +66,7 @@ func main() {
 	var err error
 	run, err = obsFlags.Start("tevot-train", *seed, runner.LiveProgress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

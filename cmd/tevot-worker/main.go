@@ -43,12 +43,12 @@ func main() {
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *coordURL == "" {
-		log.Fatal("-coordinator is required")
+		log.Fatal("-coordinator is required") // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 
 	run, err := obsFlags.Start("tevot-worker", 0, runner.LiveProgress)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 	defer run.Close()
 

@@ -300,7 +300,10 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 		}
 	}
 
-	endSim := obs.Time("dta.simulate")
+	// obs.Span (not obs.Time): when a dist worker runs this cell under
+	// a request-scoped trace, dta.simulate/dta.merge appear as child
+	// spans of the cell's trace; untraced runs pay a nil no-op.
+	simCtx, endSim := obs.Span(ctx, "dta.simulate")
 	events := make([]int, shards)
 	maxes := make([]float64, shards)
 	errs := make([]error, shards)
@@ -309,13 +312,13 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 		lo, hi := w*n/shards, (w+1)*n/shards
 		if shards == 1 {
 			// Sequential path: run inline, no goroutine.
-			errs[0] = characterizeShard(ctx, runners[0], s, clocks, tr, lo, hi, &events[0], &maxes[0], memo)
+			errs[0] = characterizeShard(simCtx, runners[0], s, clocks, tr, lo, hi, &events[0], &maxes[0], memo)
 			continue
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = characterizeShard(ctx, runners[w], s, clocks, tr, lo, hi, &events[w], &maxes[w], memo)
+			errs[w] = characterizeShard(simCtx, runners[w], s, clocks, tr, lo, hi, &events[w], &maxes[w], memo)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -325,7 +328,7 @@ func CharacterizeOptsContext(ctx context.Context, u *FUnit, corner cells.Corner,
 			return nil, err
 		}
 	}
-	endMerge := obs.Time("dta.merge")
+	_, endMerge := obs.Span(ctx, "dta.merge")
 	for w := 0; w < shards; w++ {
 		tr.Events += events[w]
 		if maxes[w] > tr.MaxDelay {

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"tevot/internal/backoff"
+	"tevot/internal/obs"
+	"tevot/internal/obs/trace"
 )
 
 // Client is the retrying JSON client workers use to talk to the
@@ -89,11 +91,19 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if err != nil {
 		return err
 	}
+	// One span per logical RPC (retries included), so a cell's trace
+	// shows "rpc /v1/result" once with an attempts annotation rather
+	// than a span per wire attempt. No-op when tracing is off.
+	ctx, sp := trace.Child(ctx, "rpc "+path)
+	defer sp.End()
 	var last error
 	for attempt := 0; ; attempt++ {
 		var retryAfter time.Duration
 		retryAfter, last = c.once(ctx, path, body, resp)
 		if last == nil || !retryable(last) || attempt >= c.retries {
+			if attempt > 0 {
+				sp.Annotate("attempts", strconv.Itoa(attempt+1))
+			}
 			return last
 		}
 		delay := c.policy.Delay(path, attempt)
@@ -118,6 +128,7 @@ func (c *Client) once(ctx context.Context, path string, body []byte, resp any) (
 		return 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	trace.Inject(ctx, hreq.Header)
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return 0, err
@@ -171,8 +182,11 @@ func (c *Client) Lease(ctx context.Context, worker string) (leaseResponse, error
 }
 
 // Renew extends a held lease; ErrLeaseGone means abandon the cell.
-func (c *Client) Renew(ctx context.Context, worker, leaseID string) error {
-	return c.post(ctx, "/v1/renew", renewRequest{Worker: worker, LeaseID: leaseID}, nil)
+// metrics, if non-nil, piggybacks the worker's registry snapshot for
+// the coordinator's fleet aggregation.
+func (c *Client) Renew(ctx context.Context, worker, leaseID string, metrics *obs.RegistrySnapshot) error {
+	return c.post(ctx, "/v1/renew",
+		renewRequest{Worker: worker, LeaseID: leaseID, Metrics: metrics}, nil)
 }
 
 // Report delivers a cell result; duplicate=true means the coordinator

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -13,6 +15,8 @@ import (
 
 	"tevot/internal/cells"
 	"tevot/internal/experiments"
+	"tevot/internal/obs"
+	"tevot/internal/obs/trace"
 )
 
 // testSpec is the small grid the integration tests run: 1 FU × 3
@@ -134,6 +138,23 @@ func TestLocalClusterByteIdentical(t *testing.T) {
 	}
 	defer stop()
 
+	// Lease one cell as a "holder" that never reports: while it is held
+	// the sweep cannot complete, so the kill below is guaranteed to land
+	// mid-run — worker 0 can never see leaseDone and exit clean before
+	// its cancellation, no matter how fast the real cells finish.
+	// ForceExpire releases the held cell to the survivors afterwards.
+	holder := NewClient(base, 99)
+	if _, _, err := holder.Register(ctx, "holder"); err != nil {
+		t.Fatal(err)
+	}
+	hl, err := holder.Lease(ctx, "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.Status != leaseGranted {
+		t.Fatalf("holder lease status %q, want granted", hl.Status)
+	}
+
 	// Three workers; worker 0 will be killed mid-run.
 	const workers = 3
 	wctx := make([]context.Context, workers)
@@ -153,8 +174,13 @@ func TestLocalClusterByteIdentical(t *testing.T) {
 
 	// Wait until at least one result landed, then kill worker 0 without
 	// any goodbye (the in-process analogue of SIGKILL) and force every
-	// outstanding lease to expire — the mass-worker-death drill.
-	waitFor(t, ctx, func() bool { return coord.Progress().Done >= 1 })
+	// outstanding lease to expire — the mass-worker-death drill. The
+	// renew keeps the holder's cell pinned even if this loop runs past
+	// the lease TTL on a slow machine.
+	waitFor(t, ctx, func() bool {
+		_ = holder.Renew(ctx, "holder", hl.LeaseID, nil)
+		return coord.Progress().Done >= 1
+	})
 	wcancel[0]()
 	coord.ForceExpire()
 
@@ -388,6 +414,175 @@ func TestDivergenceAbortsClusterRun(t *testing.T) {
 	// New lease requests are refused.
 	if _, err := client.Lease(ctx, "honest"); !errors.Is(err, ErrRunAborted) {
 		t.Fatalf("lease after abort = %v, want ErrRunAborted", err)
+	}
+}
+
+// scrapeProm fetches url and runs it through the strict exposition
+// parser, failing the test on either error.
+func scrapeProm(t *testing.T, url string) map[string]*obs.PromFamily {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: strict parser rejected output: %v", url, err)
+	}
+	return fams
+}
+
+// TestClusterTelemetryAndTracing is the PR acceptance test: a
+// two-worker in-process cluster with tracing on must (a) balance the
+// fleet counters on /cluster/metrics against the grid size, (b) show
+// one cell's full story — coordinator lease handling, worker
+// characterization, result upload — as a single trace on /debug/traces,
+// and (c) serve strict-parser-clean /metrics documents from both the
+// coordinator process and a worker registry.
+func TestClusterTelemetryAndTracing(t *testing.T) {
+	_, lab := refMerged(t)
+
+	prev := trace.Default()
+	trace.SetDefault(trace.New(7, trace.NewStore(256, 16)))
+	defer trace.SetDefault(prev)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Long TTL and no speculation: every cell completes exactly once, so
+	// the fleet counter balance below is an identity, not a likelihood.
+	coord, err := NewCoordinator(CoordConfig{
+		Spec:            testSpec(),
+		LeaseTTL:        time.Minute,
+		StragglerFactor: -1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, stop, err := coord.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	regs := []*obs.Registry{obs.NewRegistry(), obs.NewRegistry()}
+	errs := make(chan error, len(regs))
+	for i := range regs {
+		cfg := WorkerConfig{
+			ID:          "tm-" + string(rune('a'+i)),
+			Coordinator: base,
+			Lab:         lab,
+			Metrics:     regs[i],
+		}
+		go func() { errs <- RunWorker(ctx, cfg) }()
+	}
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatalf("coordinator: %v (progress: %+v)", err, coord.Progress())
+	}
+	for range regs {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	cells := float64(len(coord.Order()))
+
+	// (a) /cluster/metrics: per-worker cells_done sums to the grid size,
+	// and the merged aggregate sample agrees.
+	fams := scrapeProm(t, base+"/cluster/metrics")
+	fam := fams["tevot_worker_cells_done_total"]
+	if fam == nil {
+		t.Fatalf("/cluster/metrics missing tevot_worker_cells_done_total; families: %d", len(fams))
+	}
+	var perWorker, aggregate float64
+	for _, s := range fam.Samples {
+		switch {
+		case s.Labels["worker"] != "":
+			perWorker += s.Value
+		case s.Labels["aggregate"] == "cluster":
+			aggregate = s.Value
+		default:
+			t.Fatalf("cells_done sample with unexpected labels: %+v", s)
+		}
+	}
+	if perWorker != cells || aggregate != cells {
+		t.Fatalf("cells_done balance: per-worker sum %v, aggregate %v, want %v", perWorker, aggregate, cells)
+	}
+
+	// (b) /debug/traces: at least one completed dist.cell trace whose
+	// span tree links the worker's cell root, the coordinator's lease
+	// handling, the characterization, and the result upload under one
+	// trace ID (the ID is the retrieval key, so linkage is inherent).
+	resp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Traces []trace.Summary `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dist.cell", "rpc /v1/lease", "http /v1/lease", "dist.characterize", "rpc /v1/result", "http /v1/result"}
+	found := false
+	for _, sum := range list.Traces {
+		if sum.Name != "dist.cell" || sum.State == "active" {
+			continue
+		}
+		resp, err := http.Get(base + "/debug/traces?id=" + sum.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec trace.Record
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := map[string]bool{}
+		var walk func(sp *trace.SpanRecord)
+		walk = func(sp *trace.SpanRecord) {
+			names[sp.Name] = true
+			for _, c := range sp.Children {
+				walk(c)
+			}
+		}
+		for _, r := range rec.Roots {
+			walk(r)
+		}
+		ok := true
+		for _, n := range want {
+			if !names[n] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no completed dist.cell trace contains all of %v (traces listed: %d)", want, len(list.Traces))
+	}
+
+	// (c) /metrics from the coordinator process and from a worker
+	// registry both round-trip through the strict parser (scrapeProm
+	// fails the test otherwise).
+	coordFams := scrapeProm(t, base+"/metrics")
+	if _, ok := coordFams["tevot_dist_leases_granted_total"]; !ok {
+		t.Fatalf("coordinator /metrics missing dist lease counters; families: %d", len(coordFams))
+	}
+	wsrv := httptest.NewServer(obs.PromHandler(regs[0]))
+	defer wsrv.Close()
+	workerFams := scrapeProm(t, wsrv.URL)
+	if _, ok := workerFams["tevot_worker_cells_done_total"]; !ok {
+		t.Fatalf("worker /metrics missing worker counters; families: %d", len(workerFams))
 	}
 }
 

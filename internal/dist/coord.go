@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"tevot/internal/obs"
+	"tevot/internal/obs/trace"
 	"tevot/internal/runner"
 	"tevot/internal/serve"
 )
@@ -86,6 +88,11 @@ type Coordinator struct {
 	resumed  int
 	reissues int
 	lates    int
+	// workerMetrics holds the last registry snapshot each worker
+	// piggybacked on a renew or result request, keyed by worker ID.
+	// Snapshots survive worker re-registration (same ID, new
+	// generation) — counters are cumulative per worker identity.
+	workerMetrics map[string]*obs.RegistrySnapshot
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -105,11 +112,12 @@ func NewCoordinator(cfg CoordConfig, now func() time.Time) (*Coordinator, error)
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:   cfg,
-		order: order,
-		table: newLeaseTable(order, cfg.LeaseTTL, cfg.StragglerFactor, cfg.MaxCopies, now),
-		done:  make(chan struct{}),
-		start: time.Now(),
+		cfg:           cfg,
+		order:         order,
+		table:         newLeaseTable(order, cfg.LeaseTTL, cfg.StragglerFactor, cfg.MaxCopies, now),
+		workerMetrics: make(map[string]*obs.RegistrySnapshot),
+		done:          make(chan struct{}),
+		start:         time.Now(),
 	}
 	if cfg.Journal != "" {
 		jnl, doneCells, err := runner.OpenJournal(cfg.Journal, cfg.Spec.Fingerprint(), cfg.Resume)
@@ -147,8 +155,57 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/renew", c.handleRenew)
 	mux.HandleFunc("/v1/result", c.handleResult)
 	mux.HandleFunc("/progress", c.handleProgress)
+	mux.HandleFunc("/cluster/metrics", c.handleClusterMetrics)
+	mux.Handle("/metrics", obs.PromHandler(nil))
+	mux.Handle("/debug/traces", trace.DefaultHandler())
+	// Traced with joinOnly: requests carrying a worker's traceparent
+	// (lease, renew, result) join the worker's cell trace; bare polls
+	// from untraced clients don't each mint a trace.
 	return serve.Recover("dist", mHTTPPanics.Inc,
-		serve.Limit(c.cfg.MaxInflight, mHTTPShed.Inc, mux))
+		serve.Limit(c.cfg.MaxInflight, mHTTPShed.Inc,
+			serve.Traced("dist", true, mux)))
+}
+
+// handleClusterMetrics merges the piggybacked per-worker snapshots and
+// serves them as one exposition document: per-worker series first
+// (worker="<id>" label), then the merged fleet totals with
+// aggregate="cluster". Counters sum, gauges sum, histograms merge
+// bucket-wise (all workers share the same code, hence the same bounds).
+func (c *Coordinator) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.workerMetrics))
+	for id := range c.workerMetrics {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	snaps := make([]*obs.RegistrySnapshot, len(ids))
+	for i, id := range ids {
+		snaps[i] = c.workerMetrics[id]
+	}
+	c.mu.Unlock()
+
+	var merged obs.RegistrySnapshot
+	var mergeErrs []error
+	labeled := make([]obs.LabeledSnapshot, 0, len(ids)+1)
+	for i, id := range ids {
+		labeled = append(labeled, obs.LabeledSnapshot{
+			Labels: map[string]string{"worker": id}, Snap: *snaps[i],
+		})
+		mergeErrs = append(mergeErrs, obs.MergeSnapshots(&merged, *snaps[i])...)
+	}
+	labeled = append(labeled, obs.LabeledSnapshot{
+		Labels: map[string]string{"aggregate": "cluster"}, Snap: merged,
+	})
+	var buf bytes.Buffer
+	if err := obs.WritePromSnapshots(&buf, obs.PromPrefix, labeled); err != nil {
+		serve.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	for _, err := range mergeErrs {
+		obs.Logger("dist").Warn("cluster metrics merge skipped a series", "err", err)
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(buf.Bytes())
 }
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -232,6 +289,9 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	err := c.table.renew(req.Worker, req.LeaseID)
+	if req.Metrics != nil && req.Worker != "" {
+		c.workerMetrics[req.Worker] = req.Metrics
+	}
 	c.mu.Unlock()
 	switch {
 	case errors.Is(err, errAborted):
@@ -257,6 +317,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 
 	c.mu.Lock()
+	if req.Metrics != nil {
+		c.workerMetrics[req.Worker] = req.Metrics
+	}
 	comp, err := c.table.complete(req.Worker, req.LeaseID, req.Key, req.Value, req.Hash, req.Attempts)
 	var div *Divergence
 	if errors.As(err, &div) {
@@ -448,6 +511,7 @@ func (c *Coordinator) Progress() Progress {
 			ID: w.id, Generation: w.generation, LeasesHeld: w.leasesHeld,
 			CellsDone: w.cellsDone, Duplicates: w.cellsDryRun,
 			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			Metrics:    c.workerMetrics[w.id],
 		}
 		for _, l := range t.leases {
 			if l.worker == w.id {

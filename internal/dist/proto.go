@@ -1,6 +1,10 @@
 package dist
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"tevot/internal/obs"
+)
 
 // Wire types for the coordinator's HTTP surface. Every request is a
 // small JSON POST; responses reuse internal/serve's envelope helpers.
@@ -50,6 +54,10 @@ type leaseResponse struct {
 type renewRequest struct {
 	Worker  string `json:"worker"`
 	LeaseID string `json:"lease_id"`
+	// Metrics piggybacks the worker's registry snapshot on the heartbeat
+	// so the coordinator can serve fleet-wide telemetry without opening
+	// a connection back to each worker (workers may be NAT'd).
+	Metrics *obs.RegistrySnapshot `json:"metrics,omitempty"`
 }
 
 type renewResponse struct {
@@ -63,6 +71,11 @@ type resultRequest struct {
 	Value    json.RawMessage `json:"value"`
 	Hash     string          `json:"hash"` // sha256 of Value bytes
 	Attempts int             `json:"attempts"`
+	// Metrics rides the result upload too: a snapshot taken after the
+	// cell's counters were bumped, so an accepted result is always
+	// covered by a coordinator-held snapshot even if the worker dies
+	// before its next heartbeat.
+	Metrics *obs.RegistrySnapshot `json:"metrics,omitempty"`
 }
 
 const (
@@ -83,6 +96,9 @@ type WorkerProgress struct {
 	Duplicates int      `json:"duplicates"`
 	LastSeenMS int64    `json:"last_seen_ms_ago"`
 	Leases     []string `json:"leases,omitempty"`
+	// Metrics is the worker's last piggybacked registry snapshot (nil
+	// until the first renew/result carries one).
+	Metrics *obs.RegistrySnapshot `json:"metrics,omitempty"`
 }
 
 // Progress is the coordinator's live state, served at /progress and

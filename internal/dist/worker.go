@@ -13,6 +13,7 @@ import (
 	"tevot/internal/core"
 	"tevot/internal/experiments"
 	"tevot/internal/obs"
+	"tevot/internal/obs/trace"
 	"tevot/internal/runner"
 )
 
@@ -34,6 +35,11 @@ type WorkerConfig struct {
 	// means build one from the coordinator's spec — the once-per-process
 	// cost the seed-addressed design pays instead of shipping operands.
 	Lab *experiments.Lab
+	// Metrics is the registry whose snapshot piggybacks on renew/result
+	// requests for the coordinator's fleet aggregation. nil means a
+	// private registry per RunWorker call — in-process multi-worker
+	// tests pass distinct registries so per-worker counters stay apart.
+	Metrics *obs.Registry
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -50,6 +56,42 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	return c
 }
 
+// workerMetrics is the per-worker counter set whose snapshots ride the
+// wire to the coordinator. It lives in its own registry (not the
+// process default) so in-process workers don't blend together and the
+// snapshot stays small.
+type workerMetrics struct {
+	reg         *obs.Registry
+	leases      *obs.Counter
+	renewals    *obs.Counter
+	cellsDone   *obs.Counter
+	cellsFailed *obs.Counter
+	abandoned   *obs.Counter
+	duplicates  *obs.Counter
+	cellSeconds *obs.Histogram
+}
+
+func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &workerMetrics{
+		reg:         reg,
+		leases:      reg.Counter("worker.leases_granted"),
+		renewals:    reg.Counter("worker.renewals"),
+		cellsDone:   reg.Counter("worker.cells_done"),
+		cellsFailed: reg.Counter("worker.cells_failed"),
+		abandoned:   reg.Counter("worker.cells_abandoned"),
+		duplicates:  reg.Counter("worker.results_duplicate"),
+		cellSeconds: reg.Histogram("worker.cell_seconds", obs.DurationBuckets),
+	}
+}
+
+func (m *workerMetrics) snapshot() *obs.RegistrySnapshot {
+	s := m.reg.Snapshot()
+	return &s
+}
+
 // RunWorker registers with the coordinator, rebuilds the lab from the
 // published spec, then loops lease → execute → report until the
 // coordinator says the sweep is done (nil), the run aborts
@@ -61,6 +103,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 	log := obs.Logger("dist").With("worker", cfg.ID)
 	client := NewClient(cfg.Coordinator, int64(backoff.Hash(0, cfg.ID)))
+	wm := newWorkerMetrics(cfg.Metrics)
 
 	spec, released, err := client.Register(ctx, cfg.ID)
 	if err != nil {
@@ -84,19 +127,29 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	idle := backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second,
 		Seed: int64(backoff.Hash(1, cfg.ID))}
 	for idleSpins := 0; ; {
-		lr, err := client.Lease(ctx, cfg.ID)
+		// Root one trace per lease poll. Polls that come back empty (or
+		// find the sweep done) are discarded so an idle fleet doesn't
+		// flood the trace store; a granted lease keeps its root and the
+		// whole cell — lease RPC, coordinator handling, characterization,
+		// result upload — hangs off this one trace ID.
+		cellCtx, root := trace.Root(ctx, "dist.cell")
+		lr, err := client.Lease(cellCtx, cfg.ID)
 		switch {
 		case errors.Is(err, ErrRunAborted):
+			root.End()
 			log.Error("run aborted by coordinator", "err", err)
 			return err
 		case err != nil:
+			root.Discard()
 			return fmt.Errorf("dist: worker %s: lease: %w", cfg.ID, err)
 		}
 		switch lr.Status {
 		case leaseDone:
+			root.Discard()
 			log.Info("sweep done; exiting")
 			return nil
 		case leaseNone:
+			root.Discard()
 			idleSpins++
 			delay := idle.Delay("idle", idleSpins)
 			if server := time.Duration(lr.RetryMS) * time.Millisecond; server > delay {
@@ -111,7 +164,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 		case leaseGranted:
 			idleSpins = 0
-			if err := runLease(ctx, client, log, lab, opts, cfg, lr); err != nil {
+			wm.leases.Inc()
+			root.Annotate("worker", cfg.ID)
+			root.Annotate("cell", lr.Cell.Key())
+			err := runLease(cellCtx, client, log, lab, opts, cfg, wm, lr)
+			root.End()
+			if err != nil {
 				if errors.Is(err, ErrRunAborted) || errors.Is(err, context.Canceled) {
 					return err
 				}
@@ -121,6 +179,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				log.Warn("cell not completed", "cell", lr.Cell.Key(), "err", err)
 			}
 		default:
+			root.Discard()
 			return fmt.Errorf("dist: worker %s: unknown lease status %q", cfg.ID, lr.Status)
 		}
 	}
@@ -131,10 +190,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // through internal/runner for panic isolation, per-attempt deadlines,
 // and transient retries; the result ships back with its content hash.
 func runLease(ctx context.Context, client *Client, log *slog.Logger,
-	lab *experiments.Lab, opts core.CharacterizeOptions, cfg WorkerConfig, lr leaseResponse) error {
+	lab *experiments.Lab, opts core.CharacterizeOptions, cfg WorkerConfig,
+	wm *workerMetrics, lr leaseResponse) error {
 	cell := *lr.Cell
 	key := cell.Key()
 	ttl := time.Duration(lr.TTLMS) * time.Millisecond
+	cellStart := time.Now()
 
 	// cellCtx is cancelled the moment the coordinator disowns the lease,
 	// so a superseded worker stops burning CPU on a cell someone else
@@ -157,13 +218,18 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 			case <-cellCtx.Done():
 				return
 			case <-tick.C:
-				if err := client.Renew(cellCtx, cfg.ID, lr.LeaseID); err != nil {
+				// Each heartbeat carries a fresh metrics snapshot, so the
+				// coordinator's fleet view is at most one renew interval
+				// stale for any worker still holding a lease.
+				if err := client.Renew(cellCtx, cfg.ID, lr.LeaseID, wm.snapshot()); err != nil {
 					if errors.Is(err, ErrLeaseGone) || errors.Is(err, ErrRunAborted) {
 						hbErr <- err
 						cancel()
 						return
 					}
 					log.Warn("renew failed; will retry", "lease", lr.LeaseID, "err", err)
+				} else {
+					wm.renewals.Inc()
 				}
 			}
 		}
@@ -179,7 +245,9 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 	results, rep, runErr := runner.Run(cellCtx, rcfg, []runner.Task[json.RawMessage]{{
 		Key: key,
 		Run: func(ctx context.Context) (json.RawMessage, error) {
-			row, err := RunCell(ctx, lab, cell, opts)
+			cctx, csp := trace.Child(ctx, "dist.characterize")
+			defer csp.End()
+			row, err := RunCell(cctx, lab, cell, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -192,21 +260,33 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 	case err := <-hbErr:
 		if errors.Is(err, ErrLeaseGone) {
 			mCellsAbandoned.Inc()
+			wm.abandoned.Inc()
 			return fmt.Errorf("dist: lease %s lost mid-cell: %w", lr.LeaseID, err)
 		}
 		return err
 	default:
 	}
 	if runErr != nil {
+		wm.cellsFailed.Inc()
 		return runErr
 	}
 	raw, ok := results[key]
 	if !ok {
+		wm.cellsFailed.Inc()
 		if len(rep.Failures) > 0 {
 			return fmt.Errorf("dist: cell failed: %w", rep.Failures[0])
 		}
 		return fmt.Errorf("dist: cell %s produced no result", key)
 	}
+
+	// Bump the completion counters BEFORE taking the snapshot that rides
+	// the result upload: an accepted result is then always covered by a
+	// coordinator-held snapshot that counts it, even if this worker is
+	// SIGKILLed the moment Report returns. That ordering is what makes
+	// the /cluster/metrics balance check (Σ worker.cells_done == grid
+	// size) exact rather than eventually-consistent.
+	wm.cellsDone.Inc()
+	wm.cellSeconds.Observe(time.Since(cellStart).Seconds())
 
 	// Report on the parent ctx: even if the lease just expired, the
 	// result is still valid (determinism) and the coordinator accepts
@@ -214,11 +294,13 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 	dup, err := client.Report(ctx, resultRequest{
 		Worker: cfg.ID, LeaseID: lr.LeaseID, Key: key,
 		Value: raw, Hash: HashValue(raw), Attempts: 1 + rep.Retried,
+		Metrics: wm.snapshot(),
 	})
 	if err != nil {
 		return fmt.Errorf("dist: report %s: %w", key, err)
 	}
 	if dup {
+		wm.duplicates.Inc()
 		log.Info("result was a duplicate (byte-identical)", "cell", key)
 	} else if lr.Speculative {
 		log.Info("speculative copy won", "cell", key)

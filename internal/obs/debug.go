@@ -8,30 +8,38 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"tevot/internal/obs/trace"
 )
 
-// DebugServer is the live window into a running CLI: expvar, pprof, and
-// a JSON progress view, served on the -debug-addr listener. It is
-// read-only and intended for localhost / trusted-network use, exactly
-// like net/http/pprof's default wiring.
+// DebugServer is the live window into a running CLI: expvar, pprof,
+// Prometheus exposition, traces, and a JSON progress view, served on
+// the -debug-addr listener. It is read-only and intended for
+// localhost / trusted-network use, exactly like net/http/pprof's
+// default wiring.
 //
 // Routes:
 //
-//	/            — route index
-//	/progress    — live progress JSON (runner counters + ETA)
-//	/stages      — per-stage latency aggregates (Stages())
-//	/debug/vars  — expvar (includes the "tevot" metrics registry)
-//	/debug/pprof — CPU/heap/goroutine profiles for `go tool pprof`
+//	/             — route index
+//	/progress     — live progress JSON (runner counters + ETA + rates)
+//	/stages       — per-stage latency aggregates (Stages())
+//	/rates        — live counter rates (1s/10s/60s windows)
+//	/metrics      — Prometheus exposition format 0.0.4
+//	/debug/traces — trace store (list; ?id=<hex> renders one trace)
+//	/debug/vars   — expvar (includes the "tevot" metrics registry)
+//	/debug/pprof  — CPU/heap/goroutine profiles for `go tool pprof`
 type DebugServer struct {
-	lis  net.Listener
-	srv  *http.Server
-	addr string
+	lis         net.Listener
+	srv         *http.Server
+	addr        string
+	stopSampler chan struct{}
 }
 
 // ServeDebug starts the debug endpoint on addr (":0" picks a free
 // port; the chosen address is DebugServer.Addr). progress supplies the
 // /progress payload and may be nil, in which case /progress serves the
-// stage-latency aggregates only.
+// stage-latency aggregates only. While the server is up, a 1 Hz
+// sampler feeds the default rate rings.
 func ServeDebug(addr string, progress func() any) (*DebugServer, error) {
 	publishExpvar()
 	lis, err := net.Listen("tcp", addr)
@@ -49,14 +57,19 @@ func ServeDebug(addr string, progress func() any) (*DebugServer, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "tevot debug endpoint\n\n/progress\n/stages\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "tevot debug endpoint\n\n/progress\n/stages\n/rates\n/metrics\n/debug/traces\n/debug/vars\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, progress())
+		writeJSON(w, withRates(progress()))
 	})
 	mux.HandleFunc("/stages", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, Stages())
 	})
+	mux.HandleFunc("/rates", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, defaultRates.Snapshot())
+	})
+	mux.Handle("/metrics", PromHandler(nil))
+	mux.Handle("/debug/traces", trace.DefaultHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -65,9 +78,10 @@ func ServeDebug(addr string, progress func() any) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	ds := &DebugServer{
-		lis:  lis,
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		addr: lis.Addr().String(),
+		lis:         lis,
+		srv:         &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		addr:        lis.Addr().String(),
+		stopSampler: make(chan struct{}),
 	}
 	go func() {
 		// ErrServerClosed after Close is the expected shutdown path;
@@ -76,14 +90,54 @@ func ServeDebug(addr string, progress func() any) (*DebugServer, error) {
 			Logger("obs").Error("debug server stopped", "addr", ds.addr, "err", err)
 		}
 	}()
+	go func() {
+		tick := time.NewTicker(1 * time.Second)
+		defer tick.Stop()
+		defaultRates.Sample(time.Now())
+		for {
+			select {
+			case <-ds.stopSampler:
+				return
+			case now := <-tick.C:
+				defaultRates.Sample(now)
+			}
+		}
+	}()
 	return ds, nil
+}
+
+// withRates attaches the live counter rates to map-shaped progress
+// payloads under a "rates" key. Struct payloads (the sweep runner's
+// typed Progress) pass through unchanged — their consumers fetch
+// /rates directly.
+func withRates(payload any) any {
+	m, ok := payload.(map[string]any)
+	if !ok {
+		return payload
+	}
+	if _, taken := m["rates"]; taken {
+		return m
+	}
+	out := make(map[string]any, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out["rates"] = defaultRates.Snapshot()
+	return out
 }
 
 // Addr is the address actually listening (resolves ":0").
 func (ds *DebugServer) Addr() string { return ds.addr }
 
-// Close stops the listener and server.
-func (ds *DebugServer) Close() error { return ds.srv.Close() }
+// Close stops the sampler, listener, and server.
+func (ds *DebugServer) Close() error {
+	select {
+	case <-ds.stopSampler:
+	default:
+		close(ds.stopSampler)
+	}
+	return ds.srv.Close()
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

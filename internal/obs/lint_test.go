@@ -21,12 +21,18 @@ func lintScript(t *testing.T) string {
 }
 
 // TestLintCleanTree runs the lint against the repository's real
-// internal/ tree: the shipped library packages must be free of raw
-// print/log calls.
+// internal/ and cmd/ trees: library packages must be free of raw
+// print/log calls, and CLIs free of unescaped log.* calls (their
+// fmt.Print* stdout tables are exempt by the cmd-specific pattern).
 func TestLintCleanTree(t *testing.T) {
 	out, err := exec.Command("sh", lintScript(t)).CombinedOutput()
 	if err != nil {
 		t.Fatalf("lint fails on the shipped tree: %v\n%s", err, out)
+	}
+	// The no-arg run must actually be covering cmd/ — a regression to
+	// internal-only coverage would pass silently otherwise.
+	if !strings.Contains(string(out), "cmd") {
+		t.Fatalf("default lint scope does not include cmd/:\n%s", out)
 	}
 }
 

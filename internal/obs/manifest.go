@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"tevot/internal/obs/trace"
 )
 
 // Manifest is the auditable record of one CLI run, written as run.json
@@ -34,6 +36,10 @@ type Manifest struct {
 	Notes   map[string]any   `json:"notes,omitempty"`
 	Metrics RegistrySnapshot `json:"metrics"`
 	Stages  []StageStat      `json:"stages"`
+	// Traces is the trace store's final flush: every retained trace,
+	// including partial ones from an interrupted run — a run killed
+	// mid-stage still records which spans were open and for how long.
+	Traces []trace.Summary `json:"traces,omitempty"`
 }
 
 // write finalizes the snapshots and writes the manifest atomically
@@ -44,6 +50,9 @@ func (m *Manifest) write(path string) error {
 	m.DurationSec = m.End.Sub(m.Start).Seconds()
 	m.Metrics = DefaultSnapshot()
 	m.Stages = Stages()
+	if st := trace.Default().Store(); st != nil {
+		m.Traces = st.Summaries()
+	}
 
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

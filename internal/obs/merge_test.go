@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// Satellite: Histogram.Quantile edge cases — empty histogram, q=0,
+// q=1, and all mass in the overflow bucket.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+
+	empty := r.Histogram("empty", []float64{1, 10})
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50} {
+		h.Observe(v)
+	}
+	// q=0 lands at the lower edge of the first occupied bucket.
+	if v := h.Quantile(0); v != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", v)
+	}
+	// q=1 is the upper bound of the last occupied bucket.
+	if v := h.Quantile(1); v != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", v)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("out-of-range q does not clamp")
+	}
+
+	// All mass in the overflow bucket: every quantile is attributed to
+	// the max observation, not to +Inf.
+	over := r.Histogram("over", []float64{1, 10})
+	for _, v := range []float64{100, 200, 300} {
+		over.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99, 1} {
+		v := over.Quantile(q)
+		if math.IsInf(v, 1) || v < 10 || v > 300 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want finite in (10, 300]", q, v)
+		}
+	}
+	if v := over.Quantile(1); v != 300 {
+		t.Errorf("overflow-only Quantile(1) = %v, want max 300", v)
+	}
+
+	// Snapshot Quantile mirrors the live histogram on the same data.
+	snap := h.snapshot()
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		if live, fromSnap := h.Quantile(q), snap.Quantile(q); math.Abs(live-fromSnap) > 1e-9 {
+			t.Errorf("snapshot Quantile(%v) = %v, live = %v", q, fromSnap, live)
+		}
+	}
+}
+
+func histFromObservations(t *testing.T, bounds []float64, obs []float64) HistogramSnapshot {
+	t.Helper()
+	h, err := newHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return h.snapshot()
+}
+
+// Satellite: bucket-wise histogram merge must be associative (and
+// commutative) — the coordinator folds worker snapshots in arrival
+// order, and the order must not change the cluster view. Observations
+// are integer-valued so the float sums are exact.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	a := histFromObservations(t, bounds, []float64{1, 2, 3})
+	b := histFromObservations(t, bounds, []float64{50, 60})
+	c := histFromObservations(t, bounds, []float64{500, 0.5, 7})
+
+	merge := func(x, y HistogramSnapshot) HistogramSnapshot {
+		m, err := MergeHistogramSnapshots(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	abc1 := merge(merge(a, b), c)
+	abc2 := merge(a, merge(b, c))
+	abc3 := merge(merge(c, a), b) // commuted fold order
+
+	for i, m := range []HistogramSnapshot{abc2, abc3} {
+		if m.Count != abc1.Count || m.Sum != abc1.Sum || m.Max != abc1.Max ||
+			m.Mean != abc1.Mean || m.P50 != abc1.P50 || m.P95 != abc1.P95 {
+			t.Fatalf("merge order %d changed scalars: %+v vs %+v", i, m, abc1)
+		}
+		for j := range m.Buckets {
+			if m.Buckets[j] != abc1.Buckets[j] {
+				t.Fatalf("merge order %d changed bucket %d: %+v vs %+v", i, j, m.Buckets[j], abc1.Buckets[j])
+			}
+		}
+	}
+
+	// The merged histogram equals one built from the union of
+	// observations — bucket-wise merge is exact, not an approximation.
+	all := histFromObservations(t, bounds, []float64{1, 2, 3, 50, 60, 500, 0.5, 7})
+	if abc1.Count != all.Count || abc1.Sum != all.Sum || abc1.Max != all.Max {
+		t.Fatalf("merged %+v != union %+v", abc1, all)
+	}
+	for j := range all.Buckets {
+		if abc1.Buckets[j] != all.Buckets[j] {
+			t.Fatalf("merged bucket %d %+v != union %+v", j, abc1.Buckets[j], all.Buckets[j])
+		}
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedBounds(t *testing.T) {
+	a := histFromObservations(t, []float64{1, 10}, []float64{5})
+	b := histFromObservations(t, []float64{1, 20}, []float64{5})
+	if _, err := MergeHistogramSnapshots(a, b); err == nil {
+		t.Fatal("merge of mismatched bounds accepted")
+	}
+	c := histFromObservations(t, []float64{1}, []float64{5})
+	if _, err := MergeHistogramSnapshots(a, c); err == nil {
+		t.Fatal("merge of different bucket counts accepted")
+	}
+	// Merging with an empty (zero-value) snapshot is the identity.
+	m, err := MergeHistogramSnapshots(HistogramSnapshot{}, a)
+	if err != nil || m.Count != a.Count {
+		t.Fatalf("identity merge failed: %+v, %v", m, err)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(cells int64, secs ...float64) RegistrySnapshot {
+		r := NewRegistry()
+		r.Counter("worker.cells_done").Add(cells)
+		r.Gauge("worker.rows_per_sec").Set(100)
+		h := r.Histogram("worker.cell_seconds", []float64{1, 10})
+		for _, s := range secs {
+			h.Observe(s)
+		}
+		return r.Snapshot()
+	}
+	dst := RegistrySnapshot{}
+	for _, src := range []RegistrySnapshot{mk(4, 0.5, 2), mk(2, 20)} {
+		if errs := MergeSnapshots(&dst, src); len(errs) != 0 {
+			t.Fatal(errs)
+		}
+	}
+	if dst.Counters["worker.cells_done"] != 6 {
+		t.Fatalf("summed counter = %d, want 6", dst.Counters["worker.cells_done"])
+	}
+	if dst.Gauges["worker.rows_per_sec"] != 200 {
+		t.Fatalf("summed gauge = %v, want 200", dst.Gauges["worker.rows_per_sec"])
+	}
+	h := dst.Histograms["worker.cell_seconds"]
+	if h.Count != 3 || h.Sum != 22.5 || h.Max != 20 {
+		t.Fatalf("merged histogram %+v", h)
+	}
+
+	// A mismatched histogram is reported and skipped; counters still merge.
+	bad := RegistrySnapshot{
+		Counters:   map[string]int64{"worker.cells_done": 1},
+		Histograms: map[string]HistogramSnapshot{"worker.cell_seconds": histFromObservations(t, []float64{5}, []float64{1})},
+	}
+	errs := MergeSnapshots(&dst, bad)
+	if len(errs) != 1 {
+		t.Fatalf("expected 1 merge error, got %v", errs)
+	}
+	if dst.Counters["worker.cells_done"] != 7 {
+		t.Fatal("counter merge aborted by histogram mismatch")
+	}
+}

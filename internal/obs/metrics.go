@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -316,6 +317,34 @@ func (f JSONFloat) MarshalJSON() ([]byte, error) {
 		return []byte(`"NaN"`), nil
 	}
 	return []byte(fmt.Sprintf("%g", v)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting plain numbers
+// and the string spellings MarshalJSON emits. Snapshots cross the wire
+// in dist renew/result requests, so the round trip must close — the
+// +Inf overflow-bucket bound in particular.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		switch s[1 : len(s)-1] {
+		case "+Inf", "Inf":
+			*f = JSONFloat(math.Inf(1))
+			return nil
+		case "-Inf":
+			*f = JSONFloat(math.Inf(-1))
+			return nil
+		case "NaN":
+			*f = JSONFloat(math.NaN())
+			return nil
+		}
+		return fmt.Errorf("obs: invalid JSONFloat string %s", s)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {

@@ -1,0 +1,408 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the exposition format the writer in prom.go
+// emits. "Strict" is the point: it is the round-trip oracle in tests
+// and the scrape validator in check.sh, so it rejects everything the
+// spec frowns on instead of limping past it — samples before their
+// # TYPE line, duplicate series, malformed label escapes, histograms
+// whose cumulative buckets decrease or whose +Inf bucket disagrees
+// with _count.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: a # TYPE declaration plus its
+// samples (histogram families collect their _bucket/_sum/_count
+// series under the base name).
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseProm parses exposition-format text into families keyed by name.
+// Any deviation from the format is an error.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	seen := make(map[string]bool) // duplicate-series detection
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName, ok := sampleFamily(s.Name, fams)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, s.Name)
+		}
+		key := s.Name + labelKey(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fam := fams[famName]
+		if fam.Type == "counter" {
+			if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				return nil, fmt.Errorf("line %d: counter %s has invalid value %v", lineNo, s.Name, s.Value)
+			}
+			if s.Name != famName && s.Name != famName+"_total" {
+				return nil, fmt.Errorf("line %d: counter sample %q does not match family %q", lineNo, s.Name, famName)
+			}
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := validateHistogramFamily(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parsePromComment(line string, fams map[string]*PromFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validPromName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if f, ok := fams[name]; ok {
+			if len(f.Samples) > 0 || f.Type != "" {
+				return fmt.Errorf("second TYPE line for %s", name)
+			}
+		}
+		fams[name] = &PromFamily{Name: name, Type: typ}
+	case "HELP":
+		if len(fields) < 3 || !validPromName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// sampleFamily resolves a sample name to its declared family,
+// accounting for the histogram/summary and counter suffixes.
+func sampleFamily(name string, fams map[string]*PromFamily) (string, bool) {
+	if _, ok := fams[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return base, true
+			}
+		}
+	}
+	if base, found := strings.CutSuffix(name, "_total"); found {
+		if f, ok := fams[base]; ok && f.Type == "counter" {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return validPromName(name)
+}
+
+// parsePromSample parses `name{labels} value [timestamp]`.
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		s.Labels, rest, err = parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	fields := strings.Split(rest, " ")
+	if len(fields) > 2 {
+		return s, fmt.Errorf("trailing garbage in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromLabels parses `{k="v",...}` and returns the remainder of
+// the line after the closing brace.
+func parsePromLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		j := i
+		for j < len(in) && in[j] != '=' {
+			j++
+		}
+		if j >= len(in) {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := in[i:j]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		j++ // past '='
+		if j >= len(in) || in[j] != '"' {
+			return nil, "", fmt.Errorf("label value for %q not quoted", name)
+		}
+		j++
+		var val strings.Builder
+		for {
+			if j >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := in[j]
+			if c == '"' {
+				j++
+				break
+			}
+			if c == '\\' {
+				j++
+				if j >= len(in) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch in[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", in[j], name)
+				}
+				j++
+				continue
+			}
+			val.WriteByte(c)
+			j++
+		}
+		labels[name] = val.String()
+		if j < len(in) && in[j] == ',' {
+			j++
+		} else if j < len(in) && in[j] != '}' {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %q", name)
+		}
+		i = j
+	}
+}
+
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// validateHistogramFamily checks the histogram invariants per series
+// group (samples grouped by their non-le labels): le bounds parse and
+// strictly increase, cumulative counts never decrease, a +Inf bucket
+// exists and equals _count, and _sum/_count are present.
+func validateHistogramFamily(fam *PromFamily) error {
+	type group struct {
+		les     []float64
+		counts  []float64
+		sum     *float64
+		count   *float64
+		infSeen bool
+		infN    float64
+	}
+	groups := make(map[string]*group)
+	get := func(labels map[string]string) *group {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		k := labelKey(rest)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+		}
+		return g
+	}
+	for i := range fam.Samples {
+		s := &fam.Samples[i]
+		g := get(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad le %q: %v", leStr, err)
+			}
+			if s.Value < 0 || s.Value != math.Trunc(s.Value) {
+				return fmt.Errorf("bucket count %v not a non-negative integer", s.Value)
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+			if math.IsInf(le, 1) {
+				g.infSeen = true
+				g.infN = s.Value
+			}
+		case strings.HasSuffix(s.Name, "_sum"):
+			v := s.Value
+			g.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			g.count = &v
+		default:
+			return fmt.Errorf("unexpected sample %q in histogram family", s.Name)
+		}
+	}
+	for _, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("series with no buckets")
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("le bounds not increasing (%v after %v)", g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("cumulative bucket counts decrease at le=%v", g.les[i])
+			}
+		}
+		if !g.infSeen {
+			return fmt.Errorf("missing +Inf bucket")
+		}
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("missing _sum or _count")
+		}
+		if g.infN != *g.count {
+			return fmt.Errorf("+Inf bucket (%v) != _count (%v)", g.infN, *g.count)
+		}
+	}
+	return nil
+}
+
+// PromCounterTotal sums a counter family's samples across all label
+// sets — the cluster balance checks use it ("summed per-worker cells
+// done == grid size"). The family may be declared with or without the
+// _total suffix.
+func PromCounterTotal(fams map[string]*PromFamily, name string) (float64, bool) {
+	fam, ok := fams[name]
+	if !ok {
+		fam, ok = fams[strings.TrimSuffix(name, "_total")]
+	}
+	if !ok || fam.Type != "counter" {
+		return 0, false
+	}
+	sum := 0.0
+	for _, s := range fam.Samples {
+		sum += s.Value
+	}
+	return sum, true
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Rate tracking: a fixed-size time-series ring per counter, sampled
+// once a second by the debug server, so /progress and /rates can show
+// live rows/s, cycles/s, req/s without an external scraper doing the
+// delta math. 61 slots cover a 60-second lookback at 1-sample-per-
+// second; memory is a few KB per process regardless of run length.
+
+// rateSample is one (time, counter value) observation.
+type rateSample struct {
+	t time.Time
+	v int64
+}
+
+// rateRing is a fixed-capacity ring of samples for one counter.
+type rateRing struct {
+	buf  []rateSample
+	head int // next write position
+	n    int // valid samples
+}
+
+func (r *rateRing) push(s rateSample) {
+	r.buf[r.head] = s
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// at returns the i-th oldest sample (0 = oldest).
+func (r *rateRing) at(i int) rateSample {
+	start := (r.head - r.n + len(r.buf)) % len(r.buf)
+	return r.buf[(start+i)%len(r.buf)]
+}
+
+// RateWindows are the lookbacks reported per counter.
+var RateWindows = []time.Duration{1 * time.Second, 10 * time.Second, 60 * time.Second}
+
+// RateStat is one counter's live rates over the standard windows,
+// in events per second.
+type RateStat struct {
+	PerSec1s  float64 `json:"per_sec_1s"`
+	PerSec10s float64 `json:"per_sec_10s"`
+	PerSec60s float64 `json:"per_sec_60s"`
+}
+
+// Rates samples a registry's counters into per-counter rings.
+type Rates struct {
+	reg *Registry
+
+	mu    sync.Mutex
+	slots int
+	rings map[string]*rateRing
+}
+
+// NewRates returns a rate tracker over reg with the default 61-slot
+// (60-window) rings.
+func NewRates(reg *Registry) *Rates {
+	return &Rates{reg: reg, slots: 61, rings: make(map[string]*rateRing)}
+}
+
+var defaultRates = NewRates(defaultRegistry)
+
+// DefaultRates is the rate tracker over the default registry, sampled
+// by the debug server while it is up.
+func DefaultRates() *Rates { return defaultRates }
+
+// Sample records the current value of every counter at time now.
+// Call it on a steady cadence (the debug server ticks it at 1 Hz);
+// rates interpolate between whatever samples exist, so an irregular
+// cadence degrades resolution, not correctness.
+func (rs *Rates) Sample(now time.Time) {
+	// Snapshot counter pointers under the registry lock, observe
+	// values outside it: Value() is one atomic load.
+	rs.reg.mu.RLock()
+	names := make([]string, 0, len(rs.reg.counts))
+	counters := make([]*Counter, 0, len(rs.reg.counts))
+	for name, c := range rs.reg.counts {
+		names = append(names, name)
+		counters = append(counters, c)
+	}
+	rs.reg.mu.RUnlock()
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i, name := range names {
+		ring, ok := rs.rings[name]
+		if !ok {
+			ring = &rateRing{buf: make([]rateSample, rs.slots)}
+			rs.rings[name] = ring
+		}
+		ring.push(rateSample{t: now, v: counters[i].Value()})
+	}
+}
+
+// Rate returns the counter's events/second over the given lookback,
+// measured from the newest sample backwards. ok is false when the
+// counter has fewer than two samples (no rate yet).
+func (rs *Rates) Rate(name string, over time.Duration) (float64, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.rateLocked(name, over)
+}
+
+func (rs *Rates) rateLocked(name string, over time.Duration) (float64, bool) {
+	ring, ok := rs.rings[name]
+	if !ok || ring.n < 2 {
+		return 0, false
+	}
+	newest := ring.at(ring.n - 1)
+	cutoff := newest.t.Add(-over)
+	// Walk back to the oldest sample still inside the window. The
+	// starting point doubles as the fallback: when the window is
+	// shorter than the sampling interval, the adjacent sample is used,
+	// so a 1s window still reports something at 1 Hz.
+	base := ring.at(ring.n - 2)
+	for i := ring.n - 2; i >= 0; i-- {
+		s := ring.at(i)
+		if s.t.Before(cutoff) {
+			break
+		}
+		base = s
+	}
+	dt := newest.t.Sub(base.t).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	return float64(newest.v-base.v) / dt, true
+}
+
+// Snapshot returns the rates of every sampled counter over the
+// standard windows, sorted by name, omitting counters that have never
+// moved (rate 0 over the longest window and value 0).
+func (rs *Rates) Snapshot() map[string]RateStat {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	names := make([]string, 0, len(rs.rings))
+	for name := range rs.rings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]RateStat, len(names))
+	for _, name := range names {
+		ring := rs.rings[name]
+		if ring.n == 0 || ring.at(ring.n-1).v == 0 {
+			continue
+		}
+		var st RateStat
+		st.PerSec1s, _ = rs.rateLocked(name, RateWindows[0])
+		st.PerSec10s, _ = rs.rateLocked(name, RateWindows[1])
+		st.PerSec60s, _ = rs.rateLocked(name, RateWindows[2])
+		out[name] = st
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRatesBasic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rows")
+	rs := NewRates(r)
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i <= 10; i++ {
+		c.Add(100) // 100 events per 1s tick
+		rs.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	if v, ok := rs.Rate("rows", 1*time.Second); !ok || v != 100 {
+		t.Fatalf("1s rate = %v (ok=%v), want 100", v, ok)
+	}
+	if v, ok := rs.Rate("rows", 10*time.Second); !ok || v != 100 {
+		t.Fatalf("10s rate = %v (ok=%v), want 100", v, ok)
+	}
+	// Counter stalls: short-window rate drops to 0, long window decays.
+	for i := 11; i <= 13; i++ {
+		rs.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	if v, _ := rs.Rate("rows", 1*time.Second); v != 0 {
+		t.Fatalf("1s rate after stall = %v, want 0", v)
+	}
+	if v, _ := rs.Rate("rows", 10*time.Second); v <= 0 || v >= 100 {
+		t.Fatalf("10s rate after stall = %v, want in (0,100)", v)
+	}
+}
+
+func TestRatesSingleSample(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	rs := NewRates(r)
+	rs.Sample(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	if _, ok := rs.Rate("x", time.Second); ok {
+		t.Fatal("rate reported from a single sample")
+	}
+	if _, ok := rs.Rate("missing", time.Second); ok {
+		t.Fatal("rate reported for a never-sampled counter")
+	}
+}
+
+func TestRatesRingWraps(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	rs := NewRates(r)
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// 200 samples into 61 slots: the ring must wrap and the 60s
+	// lookback must use only the retained samples.
+	for i := 0; i < 200; i++ {
+		c.Add(int64(i)) // accelerating counter
+		rs.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	v60, ok := rs.Rate("x", 60*time.Second)
+	if !ok {
+		t.Fatal("no 60s rate after 200 samples")
+	}
+	v1, _ := rs.Rate("x", 1*time.Second)
+	if v1 != 199 {
+		t.Fatalf("1s rate = %v, want 199 (latest delta)", v1)
+	}
+	// Over the last 60s the increments averaged (140+...+199)/60.
+	want := float64(140+141+142) / 3 // spot-check band, not exact
+	if v60 < want || v60 > 199 {
+		t.Fatalf("60s rate = %v, outside (%v, 199)", v60, want)
+	}
+}
+
+func TestRatesSnapshotSkipsIdleCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("idle")
+	busy := r.Counter("busy")
+	rs := NewRates(r)
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		busy.Add(10)
+		rs.Sample(t0.Add(time.Duration(i) * time.Second))
+	}
+	snap := rs.Snapshot()
+	if _, ok := snap["idle"]; ok {
+		t.Fatal("idle counter present in rates snapshot")
+	}
+	st, ok := snap["busy"]
+	if !ok || st.PerSec1s != 10 {
+		t.Fatalf("busy rate = %+v (ok=%v), want 10/s", st, ok)
+	}
+}

@@ -8,15 +8,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tevot/internal/obs/trace"
 )
 
-// Tracing here is aggregate, not per-event: a Span records the wall
-// time of one pipeline stage execution (netlist build → STA → SDF →
-// gate-sim shards → feature extraction → forest fit/predict) into a
-// per-name accumulator, and Stages() renders the per-run stage-latency
-// table. That is the question an operator actually asks of an
-// hours-long sweep — "where is the time going?" — without the storage
-// or overhead of an event trace.
+// Stage spans are aggregate: a Span records the wall time of one
+// pipeline stage execution (netlist build → STA → SDF → gate-sim
+// shards → feature extraction → forest fit/predict) into a per-name
+// accumulator, and Stages() renders the per-run stage-latency table.
+// That is the question an operator asks of an hours-long sweep —
+// "where is the time going?" — without the storage of an event trace.
+//
+// Since the trace package landed, Span is additionally trace-aware:
+// when the context carries a request-scoped trace span (serve request,
+// dist cell), Span opens a child span under it and returns the derived
+// context, so per-request traces get dta.simulate/dta.merge children
+// for free at the same call sites. With no span in the context —
+// every benchmark, every untraced run — the trace side is a nil no-op
+// and the cost stays one map lookup plus two atomics.
 
 // spanStat accumulates one stage's executions.
 type spanStat struct {
@@ -47,13 +56,16 @@ func spanFor(name string) *spanStat {
 //	ctx, end := obs.Span(ctx, "sta.analyze")
 //	defer end()
 //
-// The context is returned unchanged today (the parameter keeps call
-// sites future-proof for propagated span metadata); cancellation is the
-// caller's business. End funcs are single-use.
+// When ctx carries a request-scoped trace span, the returned context
+// additionally carries a child trace span of the same name, ended by
+// the same end func. Cancellation is the caller's business. End funcs
+// are single-use.
 func Span(ctx context.Context, name string) (context.Context, func()) {
 	s := spanFor(name)
+	ctx, tsp := trace.Child(ctx, name)
 	start := time.Now()
 	return ctx, func() {
+		tsp.End()
 		d := time.Since(start).Nanoseconds()
 		s.count.Add(1)
 		s.totalNs.Add(d)

@@ -17,6 +17,7 @@ import (
 //	GET  /            route index
 //	GET  /healthz     liveness (200 while the process runs)
 //	GET  /readyz      readiness (503 once draining)
+//	GET  /metrics     Prometheus exposition (format 0.0.4)
 //	POST /v1/predict  batched delay/error prediction
 //	POST /admin/reload validated model hot-reload
 func (s *Server) Handler() http.Handler {
@@ -26,16 +27,19 @@ func (s *Server) Handler() http.Handler {
 			WriteError(w, http.StatusNotFound, "not_found", "unknown route")
 			return
 		}
-		fmt.Fprintf(w, "tevot-serve\n\nGET  /healthz\nGET  /readyz\nPOST /v1/predict\nPOST /admin/reload\n")
+		fmt.Fprintf(w, "tevot-serve\n\nGET  /healthz\nGET  /readyz\nGET  /metrics\nPOST /v1/predict\nPOST /admin/reload\n")
 	})
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.Handle("/metrics", obs.PromHandler(nil))
 	// Panic isolation via the shared middleware (middleware.go); the
 	// queue-based admission for /v1/predict stays inside handlePredict
-	// because shedding happens after validation there.
-	return Recover("serve", mPanics.Inc, mux)
+	// because shedding happens after validation there. Traced sits
+	// inside Recover so a panicking traced request still ends cleanly,
+	// and roots a trace per request (the serving SLO exemplar source).
+	return Recover("serve", mPanics.Inc, Traced("serve", false, mux))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

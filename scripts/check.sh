@@ -17,6 +17,9 @@ sh scripts/lintobs.sh
 echo "== observability smoke: -debug-addr endpoint + run manifest"
 go test -run 'TestDebugEndpointSmoke' ./cmd/tevot-sweep
 
+echo "== metrics exposition smoke: /metrics strict-parses mid-run, tracing on"
+go test -run 'TestMetricsExpositionSmoke' ./cmd/tevot-sweep
+
 echo "== serve smoke: boot, predict, shed under tiny queue, corrupt reload, SIGTERM drain"
 go test -run 'TestServeAbuseSmoke' ./cmd/tevot-serve
 
@@ -35,8 +38,8 @@ go test -race -short -run \
 	'TestCharacterizeShardingDeterminism|TestCharacterizeConcurrentSharedFUnit|TestStaticSingleflight' \
 	./internal/core
 
-echo "== distributed sweep: local cluster under race, kills + forced expiry"
-go test -race -run 'TestLocalClusterByteIdentical|TestCoordinatorResumesFromJournal' ./internal/dist
+echo "== distributed sweep: local cluster under race, kills + forced expiry, fleet telemetry"
+go test -race -run 'TestLocalClusterByteIdentical|TestCoordinatorResumesFromJournal|TestClusterTelemetryAndTracing' ./internal/dist
 
 echo "== distributed sweep smoke: real processes, SIGKILL a worker mid-run"
 sh scripts/cluster_smoke.sh

@@ -6,7 +6,12 @@
 #   3. SIGKILL one worker after its first results land (its leases
 #      expire and the cells are re-issued to the survivor);
 #   4. assert the distributed run exits 0 and its merged JSONL is
-#      byte-identical to the single-process reference.
+#      byte-identical to the single-process reference;
+#   5. scrape /cluster/metrics at completion and assert the fleet
+#      telemetry balances: the aggregate worker.cells_done counter
+#      equals the merged row count plus the coordinator's duplicate
+#      results (a speculative or re-issued copy completes a cell twice
+#      but lands only one row).
 #
 # This is the end-to-end counterpart of internal/dist's in-process
 # cluster tests: same protocol, plus real process boundaries, real
@@ -73,6 +78,20 @@ wait "$W1_PID" 2>/dev/null || true
 W1_PID=""
 echo "   killed worker smoke-a at done=$DONE; survivor finishes the sweep"
 
+# Wait for the last cell, then scrape the telemetry surfaces inside the
+# coordinator's post-completion linger window.
+CELLS=$(curl -s "$ADDR/progress" 2>/dev/null | grep -o '"cells":[0-9]*' | head -1 | cut -d: -f2) || true
+i=0
+while [ $i -lt 600 ]; do
+	DONE=$(curl -s "$ADDR/progress" 2>/dev/null | grep -o '"done":[0-9]*' | head -1 | cut -d: -f2) || true
+	[ "${DONE:-0}" -eq "${CELLS:-0}" ] && break
+	kill -0 "$COORD_PID" 2>/dev/null || break
+	sleep 0.1
+	i=$((i + 1))
+done
+curl -s "$ADDR/cluster/metrics" >"$TMP/cluster.prom" 2>/dev/null || true
+curl -s "$ADDR/metrics" >"$TMP/coord.prom" 2>/dev/null || true
+
 COORD_EXIT=0
 wait "$COORD_PID" || COORD_EXIT=$?
 COORD_PID=""
@@ -85,3 +104,20 @@ cmp "$TMP/ref.jsonl" "$TMP/dist.jsonl" || {
 	exit 1
 }
 echo "   merged output byte-identical to single-process run"
+
+# Fleet telemetry balance: Σ worker.cells_done (the aggregate sample on
+# /cluster/metrics) must equal merged rows + duplicate results (the
+# coordinator's own counter on /metrics). Every accepted or duplicate
+# report carries a snapshot that already counts it, so this is an
+# identity at completion, not an eventually-consistent estimate.
+ROWS=$(wc -l <"$TMP/dist.jsonl")
+AGG=$(grep '^tevot_worker_cells_done_total{aggregate="cluster"}' "$TMP/cluster.prom" | awk '{print $2}') || true
+DUPS=$(grep '^tevot_dist_results_duplicate_total ' "$TMP/coord.prom" | awk '{print $2}') || true
+[ -n "${AGG:-}" ] || { echo "FAIL: /cluster/metrics had no aggregate cells_done sample"; cat "$TMP/cluster.prom"; exit 1; }
+[ -n "${DUPS:-}" ] || { echo "FAIL: coordinator /metrics had no duplicate-results counter"; cat "$TMP/coord.prom"; exit 1; }
+[ "$AGG" -eq "$((ROWS + DUPS))" ] || {
+	echo "FAIL: cluster telemetry imbalance: cells_done=$AGG, rows=$ROWS, duplicates=$DUPS"
+	cat "$TMP/cluster.prom"
+	exit 1
+}
+echo "   cluster telemetry balanced: cells_done=$AGG == rows=$ROWS + duplicates=$DUPS"

@@ -3,21 +3,41 @@
 # line respects -log-level/-log-format and lands in the structured
 # stream — not through raw fmt.Print*/log.Print*, which bypass both and
 # (for log.Fatal*) skip profile flushing and the run manifest. CLIs
-# (cmd/) and examples/ own their stdout and are exempt; so are tests.
+# (cmd/) own their stdout, so fmt.Print* result tables are fine there,
+# but the log.* family is linted in cmd/ too: it bypasses the obs
+# stream the same way, and log.Fatal* after obs.Flags.Start would skip
+# the manifest. Pre-Start flag validation is the sanctioned exception,
+# marked with the escape comment.
 #
-# Usage: sh scripts/lintobs.sh [dir]   (default: the repo's internal/)
+# Usage: sh scripts/lintobs.sh [dir]
+#   no arg:  lint internal/ (full pattern) and cmd/ (log.* only)
+#   dir arg: lint that tree with the full pattern (the self-test hook)
 # Escape hatch for a deliberate exception: put `lint:allow-raw-print`
 # in a comment on the offending line.
 set -eu
-dir="${1:-$(cd "$(dirname "$0")/.." && pwd)/internal}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
 
-pattern='(fmt\.Print(ln|f)?|log\.(Print(ln|f)?|Fatal(ln|f)?|Panic(ln|f)?))\('
-bad="$(grep -rnE --include='*.go' --exclude='*_test.go' "$pattern" "$dir" \
-	| grep -v 'lint:allow-raw-print' || true)"
+full='(fmt\.Print(ln|f)?|log\.(Print(ln|f)?|Fatal(ln|f)?|Panic(ln|f)?))\('
+logonly='log\.(Print(ln|f)?|Fatal(ln|f)?|Panic(ln|f)?)\('
+
+lint() { # dir pattern
+	grep -rnE --include='*.go' --exclude='*_test.go' "$2" "$1" \
+		| grep -v 'lint:allow-raw-print' || true
+}
+
+if [ "$#" -ge 1 ]; then
+	bad="$(lint "$1" "$full")"
+	scope="$1"
+else
+	bad="$(printf '%s\n%s\n' \
+		"$(lint "$root/internal" "$full")" \
+		"$(lint "$root/cmd" "$logonly")" | sed '/^$/d')"
+	scope="$root/internal + $root/cmd"
+fi
 
 if [ -n "$bad" ]; then
 	echo "$bad"
-	echo "lintobs: raw print/log calls in library packages — use internal/obs (slog) instead" >&2
+	echo "lintobs: raw print/log calls outside the obs logging stream — use internal/obs (slog) instead" >&2
 	exit 1
 fi
-echo "lintobs: ok ($dir)"
+echo "lintobs: ok ($scope)"
