@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json fuzz serve cluster cluster-smoke
+.PHONY: build test check bench bench-json fuzz serve cluster cluster-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,14 @@ cluster:
 # merged output still matches the single-process run byte-for-byte.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Chaos soak: the seeded fault-schedule corpus (network/disk/clock
+# planes) against the distributed sweep, under the race detector.
+# Replay one schedule verbatim with CHAOS_SEED:
+#   make chaos CHAOS_SEED=17
+CHAOS_SEED ?=
+chaos:
+	sh scripts/chaos_soak.sh $(if $(CHAOS_SEED),-seed $(CHAOS_SEED))
 
 # Short active fuzzing pass over every parser fuzz target.
 fuzz:

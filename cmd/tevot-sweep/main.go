@@ -28,6 +28,17 @@
 //	tevot-sweep -grid -coordinator 127.0.0.1:7077 -checkpoint j.jsonl -out fig3.jsonl
 //	tevot-sweep -join http://127.0.0.1:7077
 //	tevot-sweep -cluster 3 -out fig3.jsonl
+//
+// Fault drills (internal/chaos): -chaos-seed N arms a deterministic
+// fault schedule generated from N; -chaos-profile picks a named plane
+// mix (light, network, disk, clock, heavy) instead of a generated one.
+// The network plane wraps worker HTTP transports, the disk plane wraps
+// the checkpoint/journal filesystem, and the clock plane skews the
+// coordinator's lease clock. Same seed, same schedule — a failing
+// drill replays verbatim (see scripts/chaos_soak.sh).
+//
+//	tevot-sweep -cluster 3 -out fig3.jsonl -chaos-seed 7
+//	tevot-sweep -join http://127.0.0.1:7077 -chaos-profile network -chaos-seed 7
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"tevot/internal/chaos"
 	"tevot/internal/circuits"
 	"tevot/internal/core"
 	"tevot/internal/dist"
@@ -76,6 +88,9 @@ func main() {
 		clusterN  = flag.Int("cluster", 0, "run an in-process local cluster with this many workers")
 		outPath   = flag.String("out", "", "write merged result JSONL (canonical order; byte-identical across all modes)")
 		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease TTL (workers renew at TTL/3)")
+
+		chaosSeed    = flag.Int64("chaos-seed", 0, "arm a deterministic fault schedule generated from this seed (0 = off)")
+		chaosProfile = flag.String("chaos-profile", "", "named fault profile: light, network, disk, clock, heavy (requires -chaos-seed)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -88,6 +103,10 @@ func main() {
 	}
 	if modes > 1 {
 		log.Fatal("-coordinator, -join, and -cluster are mutually exclusive") // lint:allow-raw-print (before obs.Start; no run manifest yet)
+	}
+	sched, err := chaosSchedule(*chaosSeed, *chaosProfile)
+	if err != nil {
+		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
 
 	spec := dist.Spec{
@@ -107,13 +126,13 @@ func main() {
 
 	switch {
 	case *coordAddr != "":
-		coordinatorMain(obsFlags, spec, *coordAddr, *leaseTTL, *ckpt, *resume, *outPath, *seed)
+		coordinatorMain(obsFlags, spec, *coordAddr, *leaseTTL, *ckpt, *resume, *outPath, *seed, sched)
 		return
 	case *joinURL != "":
-		workerMain(obsFlags, *joinURL, *taskTO, *retries, *seed)
+		workerMain(obsFlags, *joinURL, *taskTO, *retries, *seed, sched)
 		return
 	case *clusterN > 0:
-		clusterMain(obsFlags, spec, *clusterN, *leaseTTL, *ckpt, *resume, *outPath, *taskTO, *retries, *seed)
+		clusterMain(obsFlags, spec, *clusterN, *leaseTTL, *ckpt, *resume, *outPath, *taskTO, *retries, *seed, sched)
 		return
 	}
 
@@ -165,6 +184,12 @@ func main() {
 		Checkpoint:  *ckpt,
 		Resume:      *resume,
 		Inject:      runner.NewFaultInjector(*seed, *faultRate),
+	}
+	if sched != nil {
+		// Single-process mode has no network or lease clock; only the
+		// disk plane applies (the checkpoint file).
+		cfg.FS = chaos.NewFS(sched.Seed, sched.Disk)
+		run.Log.Warn("chaos armed (disk plane only in single-process mode)", "schedule", sched.String())
 	}
 	rows, rep, err := experiments.Fig3Run(ctx, lab, corners, cfg)
 	interrupted := errors.Is(err, context.Canceled)
@@ -218,9 +243,59 @@ func writeMergedRows(spec dist.Spec, rows []experiments.DelayRow, path string) e
 	return dist.WriteMergedFile(path, order, results)
 }
 
+// chaosSchedule resolves the -chaos-seed/-chaos-profile flags into a
+// fault schedule (nil = chaos off).
+func chaosSchedule(seed int64, profile string) (*chaos.Schedule, error) {
+	if seed == 0 && profile == "" {
+		return nil, nil
+	}
+	if seed == 0 {
+		return nil, fmt.Errorf("-chaos-profile requires -chaos-seed")
+	}
+	if profile == "" {
+		s := chaos.Generate(seed)
+		return &s, nil
+	}
+	s, err := chaos.Profile(profile, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// driveClock plays the schedule's clock events against a live lease
+// clock: jumps past the TTL (stranding in-flight leases) and a freeze
+// longer than the TTL (minting deadlines that land in the past after
+// thaw). expire, when non-nil, forces an immediate expiry sweep so the
+// event is observed before the next periodic sweep.
+func driveClock(ctx context.Context, clock *chaos.Clock, sched *chaos.Schedule, ttl time.Duration, expire func() int) {
+	if expire == nil {
+		expire = func() int { return 0 }
+	}
+	for j := 0; j < sched.ClockJumps; j++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(ttl):
+		}
+		clock.Jump(2 * ttl)
+		expire()
+	}
+	if sched.ClockFreeze {
+		clock.Freeze()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(ttl + 100*time.Millisecond):
+		}
+		clock.Thaw()
+		expire()
+	}
+}
+
 // coordinatorMain runs the distributed-sweep coordinator until the
 // sweep completes, aborts on divergence, or is interrupted.
-func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.Duration, journal string, resume bool, out string, seed int64) {
+func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.Duration, journal string, resume bool, out string, seed int64, sched *chaos.Schedule) {
 	var cp atomic.Pointer[dist.Coordinator]
 	run, err := obsFlags.Start("tevot-sweep-coordinator", seed, func() any {
 		if c := cp.Load(); c != nil {
@@ -233,20 +308,33 @@ func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.
 	}
 	defer run.Close()
 
-	coord, err := dist.NewCoordinator(dist.CoordConfig{
+	ccfg := dist.CoordConfig{
 		Spec:     spec,
 		Addr:     addr,
 		LeaseTTL: ttl,
 		Journal:  journal,
 		Resume:   resume,
 		Out:      out,
-	}, nil)
+	}
+	var now func() time.Time
+	var clock *chaos.Clock
+	if sched != nil {
+		ccfg.FS = chaos.NewFS(sched.Seed, sched.Disk)
+		clock = chaos.NewClock()
+		now = clock.Now
+		run.Log.Warn("chaos armed (disk + clock planes)", "schedule", sched.String())
+	}
+	coord, err := dist.NewCoordinator(ccfg, now)
 	if err != nil {
 		run.Fatal(err)
 	}
+	cp.Store(coord) // the debug endpoint's /progress payload source
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if clock != nil {
+		go driveClock(ctx, clock, sched, ttl, coord.ExpireNow)
+	}
 
 	err = coord.Serve(ctx)
 	p := coord.Progress()
@@ -272,7 +360,7 @@ func coordinatorMain(obsFlags *obs.Flags, spec dist.Spec, addr string, ttl time.
 }
 
 // workerMain joins a coordinator as one worker process.
-func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries int, seed int64) {
+func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries int, seed int64, sched *chaos.Schedule) {
 	run, err := obsFlags.Start("tevot-sweep-worker", seed, runner.LiveProgress)
 	if err != nil {
 		log.Fatal(err) // lint:allow-raw-print (before obs.Start; no run manifest yet)
@@ -282,11 +370,18 @@ func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries i
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err = dist.RunWorker(ctx, dist.WorkerConfig{
+	wcfg := dist.WorkerConfig{
 		Coordinator: url,
 		TaskTimeout: taskTO,
 		Retries:     retries,
-	})
+	}
+	if sched != nil {
+		// A worker process owns only the network plane: its RPCs to the
+		// coordinator go through the fault transport.
+		wcfg.Transport = chaos.NewTransport(sched.Seed, sched.Net, nil)
+		run.Log.Warn("chaos armed (network plane)", "schedule", sched.String())
+	}
+	err = dist.RunWorker(ctx, wcfg)
 	switch {
 	case errors.Is(err, context.Canceled):
 		run.SetInterrupted()
@@ -298,7 +393,7 @@ func workerMain(obsFlags *obs.Flags, url string, taskTO time.Duration, retries i
 }
 
 // clusterMain runs coordinator plus N workers inside this process.
-func clusterMain(obsFlags *obs.Flags, spec dist.Spec, n int, ttl time.Duration, journal string, resume bool, out string, taskTO time.Duration, retries int, seed int64) {
+func clusterMain(obsFlags *obs.Flags, spec dist.Spec, n int, ttl time.Duration, journal string, resume bool, out string, taskTO time.Duration, retries int, seed int64, sched *chaos.Schedule) {
 	if out == "" {
 		log.Fatal("-cluster requires -out for the merged result") // lint:allow-raw-print (before obs.Start; no run manifest yet)
 	}
@@ -311,7 +406,7 @@ func clusterMain(obsFlags *obs.Flags, spec dist.Spec, n int, ttl time.Duration, 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err = dist.RunLocalCluster(ctx, dist.ClusterConfig{
+	clcfg := dist.ClusterConfig{
 		Coord: dist.CoordConfig{
 			Spec:     spec,
 			LeaseTTL: ttl,
@@ -321,7 +416,19 @@ func clusterMain(obsFlags *obs.Flags, spec dist.Spec, n int, ttl time.Duration, 
 		},
 		Workers: n,
 		Worker:  dist.WorkerConfig{TaskTimeout: taskTO, Retries: retries},
-	})
+	}
+	if sched != nil {
+		// All three planes in one process: fault transport on every
+		// worker, fault FS under the journal, skewed lease clock. Expiry
+		// is observed at the coordinator's next periodic sweep.
+		clcfg.Coord.FS = chaos.NewFS(sched.Seed, sched.Disk)
+		clcfg.Worker.Transport = chaos.NewTransport(sched.Seed, sched.Net, nil)
+		clock := chaos.NewClock()
+		clcfg.Now = clock.Now
+		go driveClock(ctx, clock, sched, ttl, nil)
+		run.Log.Warn("chaos armed (network + disk + clock planes)", "schedule", sched.String())
+	}
+	err = dist.RunLocalCluster(ctx, clcfg)
 	switch {
 	case errors.Is(err, context.Canceled):
 		run.SetInterrupted()

@@ -14,6 +14,7 @@
 //
 //	tevot-worker -coordinator http://127.0.0.1:7077
 //	tevot-worker -coordinator http://10.0.0.5:7077 -id rack3-a -task-timeout 10m
+//	tevot-worker -coordinator http://127.0.0.1:7077 -chaos-seed 7 -chaos-profile network
 package main
 
 import (
@@ -26,10 +27,23 @@ import (
 	"syscall"
 	"time"
 
+	"tevot/internal/chaos"
 	"tevot/internal/dist"
 	"tevot/internal/obs"
 	"tevot/internal/runner"
 )
+
+// chaosScheduleFor resolves -chaos-seed/-chaos-profile into a fault
+// schedule (same semantics as tevot-sweep's chaos flags).
+func chaosScheduleFor(seed int64, profile string) (chaos.Schedule, error) {
+	if seed == 0 {
+		return chaos.Schedule{}, errors.New("-chaos-profile requires -chaos-seed")
+	}
+	if profile == "" {
+		return chaos.Generate(seed), nil
+	}
+	return chaos.Profile(profile, seed)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,6 +53,9 @@ func main() {
 		id       = flag.String("id", "", "stable worker identity (default w-<hostname>-<pid>); reuse after a restart to release stale leases instantly")
 		taskTO   = flag.Duration("task-timeout", 0, "per-attempt cell deadline (0 = none)")
 		retries  = flag.Int("retries", 1, "retries per cell for transient failures")
+
+		chaosSeed    = flag.Int64("chaos-seed", 0, "arm a deterministic network-fault schedule generated from this seed (0 = off)")
+		chaosProfile = flag.String("chaos-profile", "", "named fault profile: light, network, disk, clock, heavy (requires -chaos-seed)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -55,13 +72,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	start := time.Now()
-	err = dist.RunWorker(ctx, dist.WorkerConfig{
+	wcfg := dist.WorkerConfig{
 		ID:          *id,
 		Coordinator: *coordURL,
 		TaskTimeout: *taskTO,
 		Retries:     *retries,
-	})
+	}
+	if *chaosSeed != 0 || *chaosProfile != "" {
+		sched, err := chaosScheduleFor(*chaosSeed, *chaosProfile)
+		if err != nil {
+			run.Fatal(err)
+		}
+		// A worker owns only the network plane: every RPC to the
+		// coordinator goes through the seeded fault transport.
+		wcfg.Transport = chaos.NewTransport(sched.Seed, sched.Net, nil)
+		run.Log.Warn("chaos armed (network plane)", "schedule", sched.String())
+	}
+	start := time.Now()
+	err = dist.RunWorker(ctx, wcfg)
 	switch {
 	case errors.Is(err, context.Canceled):
 		run.SetInterrupted()

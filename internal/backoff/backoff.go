@@ -16,6 +16,9 @@ package backoff
 
 import (
 	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -45,6 +48,49 @@ func (p Policy) Delay(key string, attempt int) time.Duration {
 	h := Hash(p.Seed+int64(attempt)*7919, key)
 	jitter := 0.5 + float64(h%1000)/1000
 	return time.Duration(float64(d) * jitter)
+}
+
+// Cap clamps a server-supplied delay to the policy's Max. Retry-After
+// headers are attacker- (or chaos-) controlled input: a forged 429 with
+// Retry-After: 100000 must not stall a worker for a day. Negative
+// durations clamp to zero so callers can pass the result straight to a
+// timer.
+func (p Policy) Cap(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if p.Max > 0 && d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
+// ParseRetryAfter parses a Retry-After header value in either of its
+// two RFC 9110 forms — delta-seconds ("120") or an HTTP-date ("Fri, 07
+// Aug 2026 12:00:00 GMT") — and returns the wait it encodes relative to
+// now(). It reports ok=false for empty or malformed values, and clamps
+// dates in the past to a zero wait. Callers are expected to bound the
+// result with Policy.Cap: this function reports what the server asked
+// for, not what is sane to obey.
+func ParseRetryAfter(h string, now func() time.Time) (time.Duration, bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := t.Sub(now())
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // Hash folds a seed and a key through FNV-1a into a stable 64-bit

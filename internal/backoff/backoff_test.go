@@ -82,6 +82,67 @@ func TestPolicySharedAcrossGoroutines(t *testing.T) {
 	}
 }
 
+func TestParseRetryAfter(t *testing.T) {
+	now := func() time.Time {
+		return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	}
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+		ok   bool
+	}{
+		{"delta seconds", "120", 120 * time.Second, true},
+		{"delta zero", "0", 0, true},
+		{"delta with spaces", "  30 ", 30 * time.Second, true},
+		{"delta negative", "-5", 0, false},
+		{"delta huge", "100000", 100000 * time.Second, true},
+		{"http date future", "Fri, 07 Aug 2026 12:01:30 GMT", 90 * time.Second, true},
+		{"http date past", "Fri, 07 Aug 2026 11:00:00 GMT", 0, true},
+		{"http date rfc850", "Friday, 07-Aug-26 12:00:45 GMT", 45 * time.Second, true},
+		{"http date asctime", "Fri Aug  7 12:00:10 2026", 10 * time.Second, true},
+		{"empty", "", 0, false},
+		{"blank", "   ", 0, false},
+		{"garbage", "soon", 0, false},
+		{"float seconds", "1.5", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tc.h, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.h, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func TestCapClampsServerDelays(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Seed: 1}
+	cases := []struct {
+		name string
+		in   time.Duration
+		want time.Duration
+	}{
+		{"within max", 2 * time.Second, 2 * time.Second},
+		{"exactly max", 5 * time.Second, 5 * time.Second},
+		{"pathological", 27 * time.Hour, 5 * time.Second},
+		{"negative", -time.Second, 0},
+		{"zero", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Cap(tc.in); got != tc.want {
+				t.Fatalf("Cap(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+	// A zero-Max policy must not clamp everything to zero.
+	unbounded := Policy{Base: time.Second}
+	if got := unbounded.Cap(time.Hour); got != time.Hour {
+		t.Fatalf("zero-Max Cap(1h) = %v, want 1h", got)
+	}
+}
+
 func TestHashStable(t *testing.T) {
 	if Hash(1, "abc") != Hash(1, "abc") {
 		t.Fatal("Hash is unstable")

@@ -1,0 +1,61 @@
+// Package chaos is a stdlib-only deterministic fault-injection layer
+// for the distributed sweep. It attacks three planes — the RPC
+// transport (Transport), the checkpoint/journal disk writes (FS), and
+// the lease clock (Clock) — and every injected fault is drawn from one
+// seeded schedule, so a failing run replays exactly from its seed.
+//
+// The determinism contract is precise, and worth stating honestly: the
+// fault *schedule* is a pure function of the seed — which rules exist,
+// what each fires on, and the decision for the nth matching event are
+// all reproducible. The *interleaving* of goroutines around those
+// faults is not (Go gives no such guarantee), so two runs of the same
+// seed may reach different intermediate states. What the seed buys is
+// that the same adversary shows up both times; combined with the
+// sweep's own determinism (cells are pure functions of their key), that
+// has been enough to reproduce every bug this harness has found.
+//
+// On top of the planes sits Soak (soak.go): an in-process cluster —
+// N workers, one coordinator, mid-run worker kills and a coordinator
+// crash/resume through the journal — run under K generated schedules,
+// with merge byte-identity, accounting identities, goroutine-leak and
+// livelock checks asserted for each.
+package chaos
+
+import "tevot/internal/backoff"
+
+// decide is the shared deterministic coin for every plane: the nth
+// matching event of rule r under seed s fires iff
+// Hash(s^mix(r), key#n) mod 1000 < prob·1000. It is a pure function of
+// (seed, rule, key, n) — independent of goroutine scheduling.
+func decide(seed int64, rule int, key string, n uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	h := backoff.Hash(seed^int64(rule)*0x9e3779b97f4a7c, keyN(key, n))
+	return float64(h%1000)/1000 < prob
+}
+
+// pick returns a deterministic value in [0, m) for the nth matching
+// event — used to choose offsets, delays, and duplicate counts.
+func pick(seed int64, rule int, key string, n uint64, m int64) int64 {
+	if m <= 0 {
+		return 0
+	}
+	h := backoff.Hash(seed^int64(rule)*0x7f4a7c159e3779b9, keyN(key, n))
+	return int64(h % uint64(m))
+}
+
+func keyN(key string, n uint64) string {
+	// Cheap stable composition; '#' cannot appear in route or path keys
+	// ambiguously enough to matter for decorrelation.
+	buf := make([]byte, 0, len(key)+21)
+	buf = append(buf, key...)
+	buf = append(buf, '#')
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(n>>(8*i)))
+	}
+	return string(buf)
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the clock plane: a swappable time source for internal/dist's
+// lease table (its `now func() time.Time` hook). It starts as a
+// passthrough of the real clock and can be skewed forward, frozen, and
+// released — enough to stage expiry storms (jump past every lease TTL
+// at once) and renew-after-expiry races (freeze so renewals race a
+// deadline that no longer moves) without waiting out real TTLs.
+//
+// Only forward skew is offered. The lease table compares deadlines
+// minted from this same clock, so jumping backwards would un-expire
+// leases — a fault no real clock-sync daemon produces on a scale worth
+// modeling, and one that breaks the table's monotonicity assumptions
+// rather than testing them.
+type Clock struct {
+	mu     sync.Mutex
+	skew   time.Duration
+	frozen bool
+	at     time.Time // the frozen instant, valid when frozen
+}
+
+// NewClock returns a passthrough clock with no skew.
+func NewClock() *Clock { return &Clock{} }
+
+// Now is the time source to hand to dist.NewCoordinator.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frozen {
+		return c.at.Add(c.skew)
+	}
+	return time.Now().Add(c.skew)
+}
+
+// Jump skews the clock forward by d (cumulative). With d at least the
+// lease TTL this is an expiry storm: every live lease is instantly past
+// its deadline on the next sweep.
+func (c *Clock) Jump(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.skew += d
+	c.mu.Unlock()
+}
+
+// Freeze stops the clock at its current reading. Renewals made while
+// frozen extend deadlines relative to a time that no longer advances,
+// so a later Thaw lands every deadline in the past at once.
+func (c *Clock) Freeze() {
+	c.mu.Lock()
+	if !c.frozen {
+		c.frozen = true
+		c.at = time.Now()
+	}
+	c.mu.Unlock()
+}
+
+// Thaw resumes the clock from the real now (plus accumulated skew).
+// Deadlines minted while frozen were relative to the frozen instant, so
+// a freeze that outlasted the lease TTL lands them all in the past the
+// moment the clock resumes — the renew-after-expiry race, staged.
+func (c *Clock) Thaw() {
+	c.mu.Lock()
+	c.frozen = false
+	c.mu.Unlock()
+}

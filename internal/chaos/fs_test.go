@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSENOSPCAndShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(1, []FSRule{
+		{Kind: FaultENOSPC, PathGlob: "*.jsonl", Prob: 1, MaxFires: 1},
+	})
+	f, err := fs.OpenFile(filepath.Join(dir, "j.jsonl"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("hello\n")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("first write err = %v, want ErrNoSpace", err)
+	}
+	// MaxFires=1: subsequent writes succeed.
+	if _, err := f.Write([]byte("world\n")); err != nil {
+		t.Fatalf("second write err = %v", err)
+	}
+}
+
+func TestFSShortWritePinnedCut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	fs := NewFS(2, []FSRule{
+		{Kind: FaultShortWrite, Prob: 1, MaxFires: 1, CutAt: 3},
+	})
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if err == nil {
+		t.Fatal("short write must surface an error")
+	}
+	if n != 3 {
+		t.Fatalf("short write kept %d bytes, want 3", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "abc" {
+		t.Fatalf("on-disk bytes %q, want \"abc\"", data)
+	}
+}
+
+func TestFSSyncLieThenCrashTearsTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	fs := NewFS(3, []FSRule{
+		// Every Sync lies: nothing written after open is durable.
+		{Kind: FaultSyncLie, Prob: 1},
+	})
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("entry-1\nentry-2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying Sync must report success, got %v", err)
+	}
+	kept := fs.Crash()
+	if kept[path] >= 16 {
+		t.Fatalf("crash kept %d bytes of a 16-byte unsynced tail — the sync lie was honored", kept[path])
+	}
+	data, _ := os.ReadFile(path)
+	if int64(len(data)) != kept[path] {
+		t.Fatalf("on-disk size %d != reported kept %d", len(data), kept[path])
+	}
+	// Crashed FS refuses new work until Reset.
+	if _, err := fs.OpenFile(path, os.O_WRONLY, 0o644); err == nil {
+		t.Fatal("crashed FS must refuse opens")
+	}
+	fs.Reset()
+	f2, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("reset FS should open again: %v", err)
+	}
+	f2.Close()
+}
+
+func TestFSHonestSyncSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	fs := NewFS(4, nil) // no rules: every sync honest
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable\n"))
+	f.Sync()
+	f.Write([]byte("maybe-lost\n"))
+	kept := fs.Crash()
+	if kept[path] < 8 {
+		t.Fatalf("crash dropped synced bytes: kept %d, want >= 8", kept[path])
+	}
+	data, _ := os.ReadFile(path)
+	if string(data[:8]) != "durable\n" {
+		t.Fatalf("synced prefix corrupted: %q", data)
+	}
+}
+
+func TestFSSyncFailSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(5, []FSRule{{Kind: FaultSyncFail, Prob: 1, MaxFires: 1}})
+	f, err := fs.OpenFile(filepath.Join(dir, "j.jsonl"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Write([]byte("x\n"))
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("Sync err = %v, want ErrSyncFailed", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync (MaxFires spent) err = %v", err)
+	}
+}
+
+func TestFSGlobScopesRules(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(6, []FSRule{{Kind: FaultENOSPC, PathGlob: "*.jsonl", Prob: 1}})
+	// A non-matching file is untouched.
+	f, err := fs.OpenFile(filepath.Join(dir, "other.txt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("fine\n")); err != nil {
+		t.Fatalf("rule leaked onto non-matching file: %v", err)
+	}
+}

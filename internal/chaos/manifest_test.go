@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tevot/internal/obs"
+)
+
+// startRun builds a minimal obs.Run writing its manifest to path.
+func startRun(t *testing.T, path string) *obs.Run {
+	t.Helper()
+	fs := flag.NewFlagSet("chaos-test", flag.ContinueOnError)
+	flags := obs.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-run-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	run, err := flags.Start("chaos-test", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// assertNoDebris fails if dir holds anything besides the allowed names
+// — a failed manifest write must not strand temp files.
+func assertNoDebris(t *testing.T, dir string, allowed ...string) {
+	t.Helper()
+	ok := map[string]bool{}
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !ok[e.Name()] {
+			t.Fatalf("stranded file after manifest fault: %s", e.Name())
+		}
+	}
+}
+
+// TestManifestWriteUnderDiskFaults proves the atomic temp+rename dance
+// holds under the chaos disk plane: a failed temp write or a failed
+// rename surfaces an error and leaves neither a truncated run.json nor
+// a stranded temp file; a clean retry then succeeds.
+func TestManifestWriteUnderDiskFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		rule FSRule
+	}{
+		// Temp-file writes fail (the temp pattern is .run-*.json.tmp).
+		{"temp-write-enospc", FSRule{Kind: FaultENOSPC, PathGlob: "*.tmp", Prob: 1, MaxFires: 1}},
+		// The temp write tears short with an error.
+		{"temp-write-short", FSRule{Kind: FaultShortWrite, PathGlob: "*.tmp", Prob: 1, MaxFires: 1, CutAt: 10}},
+		// The final rename onto run.json fails.
+		{"rename-enospc", FSRule{Kind: FaultENOSPC, PathGlob: "run.json", Prob: 1, MaxFires: 1}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "run.json")
+			run := startRun(t, path)
+			restore := obs.SetManifestFS(NewFS(11, []FSRule{tc.rule}))
+			err := run.Close()
+			restore()
+			if err == nil {
+				t.Fatal("Close under an injected manifest fault reported success")
+			}
+			if _, serr := os.Stat(path); serr == nil {
+				t.Fatal("faulted manifest write left a run.json behind")
+			}
+			assertNoDebris(t, dir)
+
+			// A fresh run on the now-healthy filesystem writes a complete,
+			// parseable manifest.
+			run2 := startRun(t, path)
+			if err := run2.Close(); err != nil {
+				t.Fatalf("clean manifest write failed: %v", err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]any
+			if err := json.Unmarshal(data, &m); err != nil {
+				t.Fatalf("run.json is not valid JSON: %v", err)
+			}
+			if m["command"] != "chaos-test" {
+				t.Fatalf("manifest command = %v", m["command"])
+			}
+			assertNoDebris(t, dir, "run.json")
+		})
+	}
+}

@@ -1,0 +1,316 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tevot/internal/obs"
+)
+
+// Network-plane fault kinds.
+const (
+	// NetDrop makes the request vanish: the handler never sees it and
+	// the caller gets a connection-reset-shaped error.
+	NetDrop = "drop"
+	// NetDelay holds the request for a seeded duration in [MinDelay,
+	// MaxDelay) before forwarding.
+	NetDelay = "delay"
+	// NetDup forwards the request twice; the duplicate's response is
+	// discarded. Models a retransmit racing a slow ACK — the server
+	// processes the same logical message twice.
+	NetDup = "dup"
+	// NetReset forwards the request but kills the response mid-body:
+	// the caller reads a prefix and then an unexpected-EOF error.
+	NetReset = "reset"
+	// NetTruncate forwards the request but delivers only a prefix of
+	// the response body with a clean EOF — a truncation the client can
+	// only detect by failing to parse.
+	NetTruncate = "truncate"
+	// NetForge never forwards: the caller receives a forged status
+	// (ForgeStatus, default 503) with an optional Retry-After header.
+	NetForge = "forge"
+)
+
+// ErrInjectedReset is the transport-level error surfaced by NetDrop.
+var ErrInjectedReset = errors.New("chaos: connection reset (injected)")
+
+// NetRule is one network-plane fault: the Nth request whose URL path
+// matches Route (prefix match; empty = all) suffers Kind with
+// probability Prob, at most MaxFires times (0 = unlimited).
+type NetRule struct {
+	Kind  string
+	Route string
+	Prob  float64
+	// MaxFires caps total firings (0 = unlimited). Keep drops/forges
+	// bounded or finite retry budgets will, correctly, give up.
+	MaxFires int
+	// MinDelay/MaxDelay bound NetDelay holds (default 10–200ms).
+	MinDelay, MaxDelay time.Duration
+	// ForgeStatus is the NetForge status code (default 503).
+	ForgeStatus int
+	// RetryAfter, when non-empty, is sent verbatim as the forged
+	// response's Retry-After header — delta-seconds or HTTP-date.
+	RetryAfter string
+}
+
+// Transport is the network plane: an http.RoundTripper that injects
+// seeded faults between a dist client and its coordinator. It wraps a
+// real transport (http.DefaultTransport by default), so everything it
+// passes through still crosses a real loopback socket.
+//
+// Besides injecting faults it keeps delivery books on tracked routes:
+// how many requests (by body hash) were actually delivered to the
+// server and answered 2xx — including chaos-injected duplicates, which
+// the caller never saw. The soak uses these books to bound the
+// accounting drift that redelivery legitimately causes.
+type Transport struct {
+	seed  int64
+	rules []NetRule
+	next  http.RoundTripper
+
+	mu    sync.Mutex
+	ops   []uint64
+	fires []int
+	// delivered counts 2xx-answered deliveries per (route, body-hash) on
+	// tracked routes.
+	delivered map[string]int
+	tracked   map[string]bool
+	injected  int
+}
+
+// NewTransport builds a network plane with the given seeded rules over
+// next (nil = http.DefaultTransport).
+func NewTransport(seed int64, rules []NetRule, next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{
+		seed:      seed,
+		rules:     rules,
+		next:      next,
+		ops:       make([]uint64, len(rules)),
+		fires:     make([]int, len(rules)),
+		delivered: make(map[string]int),
+		tracked:   make(map[string]bool),
+	}
+}
+
+// Track enables delivery bookkeeping for a route (URL path prefix).
+func (t *Transport) Track(route string) {
+	t.mu.Lock()
+	t.tracked[route] = true
+	t.mu.Unlock()
+}
+
+// Injected reports how many faults have fired so far.
+func (t *Transport) Injected() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+// Deliveries returns, for each tracked route, the number of distinct
+// request bodies delivered at least once and the excess deliveries
+// beyond one per body (retransmits the server processed again).
+func (t *Transport) Deliveries(route string) (distinct, excess int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prefix := route + "|"
+	for k, n := range t.delivered {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			distinct++
+			excess += n - 1
+		}
+	}
+	return distinct, excess
+}
+
+func (t *Transport) matchRule(path string) (NetRule, int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rules {
+		if r.Route != "" && !hasPrefix(path, r.Route) {
+			continue
+		}
+		n := t.ops[i]
+		t.ops[i]++
+		if r.MaxFires > 0 && t.fires[i] >= r.MaxFires {
+			continue
+		}
+		if decide(t.seed, i, r.Kind+":"+path, n, r.Prob) {
+			t.fires[i]++
+			t.injected++
+			return r, i, true
+		}
+	}
+	return NetRule{}, 0, false
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Buffer the body once: rules may need to replay it (dup) and the
+	// delivery books key on its hash. Coordinator RPCs are small JSON
+	// documents; the 1MB server-side cap bounds this buffer too.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	path := req.URL.Path
+
+	r, ridx, fired := t.matchRule(path)
+	if !fired {
+		return t.forward(req, body)
+	}
+	log := obs.Logger("chaos")
+	switch r.Kind {
+	case NetDrop:
+		log.Debug("net drop", "route", path)
+		return nil, fmt.Errorf("%w: %s", ErrInjectedReset, path)
+
+	case NetDelay:
+		min, max := r.MinDelay, r.MaxDelay
+		if min <= 0 {
+			min = 10 * time.Millisecond
+		}
+		if max <= min {
+			max = min + 190*time.Millisecond
+		}
+		t.mu.Lock()
+		n := t.ops[ridx]
+		t.mu.Unlock()
+		d := min + time.Duration(pick(t.seed, ridx, "delay:"+path, n, int64(max-min)))
+		log.Debug("net delay", "route", path, "delay", d)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+		return t.forward(req, body)
+
+	case NetDup:
+		// Deliver a shadow copy first; its response is thrown away. The
+		// context must outlive this call's cancel, so clone onto a
+		// background context bounded by a short timeout.
+		log.Debug("net dup", "route", path)
+		shadowCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shadow := req.Clone(shadowCtx)
+		if resp, err := t.forward(shadow, body); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		return t.forward(req, body)
+
+	case NetReset:
+		resp, err := t.forward(req, body)
+		if err != nil {
+			return resp, err
+		}
+		return t.mangleBody(resp, path, ridx, true)
+
+	case NetTruncate:
+		resp, err := t.forward(req, body)
+		if err != nil {
+			return resp, err
+		}
+		return t.mangleBody(resp, path, ridx, false)
+
+	case NetForge:
+		status := r.ForgeStatus
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		log.Debug("net forge", "route", path, "status", status)
+		hdr := make(http.Header)
+		hdr.Set("Content-Type", "application/json")
+		if r.RetryAfter != "" {
+			hdr.Set("Retry-After", r.RetryAfter)
+		}
+		payload := fmt.Sprintf(`{"error":{"code":"injected","message":"chaos forged %d"}}`, status)
+		return &http.Response{
+			Status:        strconv.Itoa(status) + " " + http.StatusText(status),
+			StatusCode:    status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        hdr,
+			Body:          io.NopCloser(bytes.NewReader([]byte(payload))),
+			ContentLength: int64(len(payload)),
+			Request:       req,
+		}, nil
+	}
+	return t.forward(req, body)
+}
+
+// forward performs the real exchange and keeps the delivery books.
+func (t *Transport) forward(req *http.Request, body []byte) (*http.Response, error) {
+	if body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		path := req.URL.Path
+		t.mu.Lock()
+		for route := range t.tracked {
+			if hasPrefix(path, route) {
+				sum := sha256.Sum256(body)
+				t.delivered[route+"|"+hex.EncodeToString(sum[:8])]++
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+	return resp, err
+}
+
+// mangleBody rewraps a response body to deliver only a seeded prefix;
+// reset=true ends the read with an injected error (connection reset
+// mid-body), reset=false with a clean EOF (silent truncation).
+func (t *Transport) mangleBody(resp *http.Response, path string, ridx int, reset bool) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	n := t.ops[ridx]
+	t.mu.Unlock()
+	cut := int64(0)
+	if len(data) > 0 {
+		cut = pick(t.seed, ridx, "cut:"+path, n, int64(len(data)))
+	}
+	obs.Logger("chaos").Debug("net body mangled", "route", path, "kept", cut, "of", len(data), "reset", reset)
+	prefix := data[:cut]
+	if reset {
+		resp.Body = io.NopCloser(io.MultiReader(bytes.NewReader(prefix), errReader{}))
+	} else {
+		resp.Body = io.NopCloser(bytes.NewReader(prefix))
+		resp.ContentLength = int64(len(prefix))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(prefix)))
+	}
+	return resp, nil
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, ErrInjectedReset }

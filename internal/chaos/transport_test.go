@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, hc *http.Client, url string, body string) (*http.Response, []byte, error) {
+	t.Helper()
+	resp, err := hc.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(resp.Body)
+	return resp, data, rerr
+}
+
+func TestTransportDropNeverReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(1, []NetRule{{Kind: NetDrop, Prob: 1}}, nil)
+	hc := &http.Client{Transport: tr}
+	_, _, err := postJSON(t, hc, srv.URL+"/v1/lease", `{}`)
+	if err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server %d times", hits.Load())
+	}
+	if tr.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", tr.Injected())
+	}
+}
+
+func TestTransportDupDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(2, []NetRule{{Kind: NetDup, Route: "/v1/result", Prob: 1, MaxFires: 1}}, nil)
+	tr.Track("/v1/result")
+	hc := &http.Client{Transport: tr}
+	resp, _, err := postJSON(t, hc, srv.URL+"/v1/result", `{"key":"cell-1"}`)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("dup request failed: %v status=%v", err, resp)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d deliveries, want 2 (original + injected dup)", hits.Load())
+	}
+	distinct, excess := tr.Deliveries("/v1/result")
+	if distinct != 1 || excess != 1 {
+		t.Fatalf("Deliveries = (%d distinct, %d excess), want (1, 1)", distinct, excess)
+	}
+}
+
+func TestTransportForgeStatusAndRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(3, []NetRule{{Kind: NetForge, Prob: 1, ForgeStatus: 429, RetryAfter: "100000"}}, nil)
+	hc := &http.Client{Transport: tr}
+	resp, body, err := postJSON(t, hc, srv.URL+"/v1/lease", `{}`)
+	if err != nil {
+		t.Fatalf("forged response errored: %v", err)
+	}
+	if resp.StatusCode != 429 {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "100000" {
+		t.Fatalf("Retry-After = %q, want 100000", got)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("forged request reached the server")
+	}
+	var e struct {
+		Error struct{ Code string }
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "injected" {
+		t.Fatalf("forged body %q does not parse as the error envelope", body)
+	}
+}
+
+func TestTransportTruncateAndReset(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+
+	// Truncate: clean EOF with fewer bytes.
+	trunc := NewTransport(4, []NetRule{{Kind: NetTruncate, Prob: 1}}, nil)
+	resp, data, err := postJSON(t, &http.Client{Transport: trunc}, srv.URL+"/v1/spec", `{}`)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("truncate exchange failed: %v", err)
+	}
+	if len(data) >= len(payload) {
+		t.Fatalf("truncate kept %d of %d bytes", len(data), len(payload))
+	}
+
+	// Reset: body read errors partway.
+	rst := NewTransport(5, []NetRule{{Kind: NetReset, Prob: 1}}, nil)
+	resp2, err := (&http.Client{Transport: rst}).Post(srv.URL+"/v1/spec", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("reset should fail on body read, not on the exchange: %v", err)
+	}
+	defer resp2.Body.Close()
+	if _, err := io.ReadAll(resp2.Body); err == nil {
+		t.Fatal("reset body read should error")
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(6, []NetRule{{Kind: NetDelay, Prob: 1,
+		MinDelay: 10 * time.Second, MaxDelay: 20 * time.Second}}, nil)
+	hc := &http.Client{Transport: tr, Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := hc.Post(srv.URL+"/v1/lease", "application/json", strings.NewReader(`{}`))
+	if err == nil {
+		t.Fatal("delayed request should have timed out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delay ignored the request context: took %v", elapsed)
+	}
+}
+
+func TestTransportScheduleDeterministic(t *testing.T) {
+	rules := []NetRule{{Kind: NetDrop, Prob: 0.3}}
+	fires := func(seed int64) []bool {
+		tr := NewTransport(seed, rules, nil)
+		out := make([]bool, 64)
+		for i := range out {
+			_, _, out[i] = tr.matchRule("/v1/lease")
+		}
+		return out
+	}
+	a, b := fires(42), fires(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical seeds", i)
+		}
+	}
+	c := fires(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed does not influence the fault stream")
+	}
+}
+
+func TestTransportMaxFires(t *testing.T) {
+	tr := NewTransport(7, []NetRule{{Kind: NetDrop, Prob: 1, MaxFires: 3}}, nil)
+	n := 0
+	for i := 0; i < 10; i++ {
+		if _, _, fired := tr.matchRule("/v1/lease"); fired {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("rule fired %d times, MaxFires=3", n)
+	}
+}

@@ -38,19 +38,46 @@ var (
 	ErrRunAborted = errors.New("dist: run aborted")
 )
 
+// ClientOptions tune a Client beyond its defaults. The zero value keeps
+// every default; fields are applied only when set.
+type ClientOptions struct {
+	// Transport replaces http.DefaultTransport — the injection point for
+	// chaos.Transport and for custom TLS/proxy setups.
+	Transport http.RoundTripper
+	// Timeout bounds one wire attempt (default 30s).
+	Timeout time.Duration
+	// Retries is the per-RPC retry budget (default 8; negative means 0).
+	Retries int
+}
+
 // NewClient builds a client for the coordinator at base
 // (http://host:port). seed keys the retry jitter so concurrent workers
 // decorrelate their retry storms.
 func NewClient(base string, seed int64) *Client {
+	return NewClientWith(base, seed, ClientOptions{})
+}
+
+// NewClientWith is NewClient with explicit options.
+func NewClientWith(base string, seed int64, opts ClientOptions) *Client {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = 8
+	} else if retries < 0 {
+		retries = 0
+	}
 	return &Client{
 		base: base,
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		hc:   &http.Client{Timeout: timeout, Transport: opts.Transport},
 		policy: backoff.Policy{
 			Base: 100 * time.Millisecond,
 			Max:  5 * time.Second,
 			Seed: seed,
 		},
-		retries: 8,
+		retries: retries,
 	}
 }
 
@@ -107,8 +134,11 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 			return last
 		}
 		delay := c.policy.Delay(path, attempt)
-		if retryAfter > delay {
-			delay = retryAfter
+		// A server-supplied Retry-After may stretch the wait, but only up
+		// to the policy max: the header is unauthenticated input, and a
+		// forged 429 must not park a worker for hours.
+		if ra := c.policy.Cap(retryAfter); ra > delay {
+			delay = ra
 		}
 		timer := time.NewTimer(delay)
 		select {
@@ -151,20 +181,8 @@ func (c *Client) once(ctx context.Context, path string, body []byte, resp any) (
 	case hresp.StatusCode == http.StatusConflict:
 		return 0, fmt.Errorf("%w: %s: %s", ErrRunAborted, e.Error.Code, e.Error.Message)
 	}
-	ra := parseRetryAfter(hresp.Header.Get("Retry-After"))
+	ra, _ := backoff.ParseRetryAfter(hresp.Header.Get("Retry-After"), time.Now)
 	return ra, &httpStatusError{status: hresp.StatusCode, code: e.Error.Code, msg: e.Error.Message}
-}
-
-// parseRetryAfter handles the delay-seconds form (the only one this
-// repo's servers emit); HTTP-date forms are ignored.
-func parseRetryAfter(h string) time.Duration {
-	if h == "" {
-		return 0
-	}
-	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
-	}
-	return 0
 }
 
 // Register announces the worker and returns the sweep spec.

@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestClientCancelMidUpload pins the context-propagation contract: a
+// cancelled ctx must abort an in-flight RPC promptly — including a
+// result upload stalled inside the server — rather than riding out the
+// 30s http.Client timeout. This is what lets a shutting-down worker
+// (or a coordinator-initiated drain) cut its uploads immediately.
+func TestClientCancelMidUpload(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		select { // stall until the test ends
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	// Unblock the handler before the deferred srv.Close() (LIFO), which
+	// waits for in-flight handlers.
+	defer close(release)
+
+	c := NewClient(srv.URL, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.Report(ctx, resultRequest{
+			Worker: "w", LeaseID: "L1", Key: "k",
+			Value: []byte(`{"v":1}`), Hash: HashValue([]byte(`{"v":1}`)),
+		})
+		errCh <- err
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("upload never reached the server")
+	}
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Report returned %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("cancel took %v to unwind the upload — ctx is not propagated", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Report did not return after cancel — in-flight upload not cancellable")
+	}
+}
+
+// TestClientCapsServerRetryAfter pins the Retry-After clamp: a 429
+// carrying a pathological delay must not stretch the retry sleep past
+// the policy max (the schedule stays second-scale, not day-scale).
+func TestClientCapsServerRetryAfter(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "100000") // ~27 hours
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"status":"accepted"}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, 1)
+	start := time.Now()
+	_, err := c.Report(context.Background(), resultRequest{
+		Worker: "w", LeaseID: "L1", Key: "k",
+		Value: []byte(`{"v":1}`), Hash: HashValue([]byte(`{"v":1}`)),
+	})
+	if err != nil {
+		t.Fatalf("Report after one capped 429: %v", err)
+	}
+	if hits != 2 {
+		t.Fatalf("server saw %d attempts, want 2", hits)
+	}
+	// Policy max is 5s; the old uncapped behavior would sleep 100000s.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("retry slept %v — Retry-After was honored uncapped", elapsed)
+	}
+}

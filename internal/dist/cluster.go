@@ -24,7 +24,11 @@ type ClusterConfig struct {
 	// Worker is the per-worker template; ID and Coordinator are
 	// assigned by the cluster, and Lab is shared across all workers
 	// (functional units are safe for concurrent characterization).
+	// The template's Transport (if any) is shared by every worker.
 	Worker WorkerConfig
+	// Now is the coordinator's clock hook (nil = time.Now) — the chaos
+	// clock plane plugs in here to skew or freeze lease expiry.
+	Now func() time.Time
 }
 
 // RunLocalCluster runs the sweep to completion (or abort) and returns
@@ -35,7 +39,7 @@ func RunLocalCluster(ctx context.Context, cfg ClusterConfig) error {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
-	coord, err := NewCoordinator(cfg.Coord, nil)
+	coord, err := NewCoordinator(cfg.Coord, cfg.Now)
 	if err != nil {
 		return err
 	}

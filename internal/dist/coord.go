@@ -39,6 +39,9 @@ type CoordConfig struct {
 	// It uses internal/runner's checkpoint format, so a killed
 	// coordinator resumes without re-running completed cells.
 	Journal string
+	// FS backs the journal file; nil means the real filesystem. Chaos
+	// soaks inject torn writes, ENOSPC, and fsync lies here.
+	FS runner.FS
 	// Resume loads an existing journal instead of refusing to overwrite.
 	Resume bool
 	// Out, if set, receives the merged canonical JSONL on completion.
@@ -71,8 +74,16 @@ func (c CoordConfig) withDefaults() CoordConfig {
 	if c.Linger <= 0 {
 		c.Linger = 2 * time.Second
 	}
+	if c.FS == nil {
+		c.FS = runner.OSFS
+	}
 	return c
 }
+
+// ErrJournalFailed marks a run aborted because the journal stopped
+// persisting accepted results. Soaks and operators branch on it: the
+// run's in-memory state was fine, but its resume guarantee was void.
+var ErrJournalFailed = errors.New("dist: journal write failed")
 
 // Coordinator owns the lease table and journal of one distributed
 // sweep. All state is guarded by mu; the HTTP handlers are thin
@@ -120,7 +131,7 @@ func NewCoordinator(cfg CoordConfig, now func() time.Time) (*Coordinator, error)
 		start:         time.Now(),
 	}
 	if cfg.Journal != "" {
-		jnl, doneCells, err := runner.OpenJournal(cfg.Journal, cfg.Spec.Fingerprint(), cfg.Resume)
+		jnl, doneCells, err := runner.OpenJournalFS(cfg.FS, cfg.Journal, cfg.Spec.Fingerprint(), cfg.Resume)
 		if err != nil {
 			return nil, fmt.Errorf("dist: journal: %w", err)
 		}
@@ -333,7 +344,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			// A journal that stops persisting voids the resume guarantee;
 			// better to abort loudly than complete a run whose checkpoint
 			// silently diverged from reality.
-			c.failLocked(fmt.Errorf("dist: journal write failed: %w", jerr))
+			c.failLocked(fmt.Errorf("%w: %w", ErrJournalFailed, jerr))
 			err = c.failure
 		}
 	}
@@ -586,7 +597,12 @@ func (c *Coordinator) Start(ctx context.Context) (string, func(), error) {
 			stopExpiry()
 			shCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 			defer cancel()
-			srv.Shutdown(shCtx)
+			if err := srv.Shutdown(shCtx); err != nil {
+				// Graceful drain timed out — a stuck upload (or injected
+				// chaos delay) is holding a connection open. Force-close so
+				// stop() never leaks the listener or its conn goroutines.
+				srv.Close()
+			}
 		})
 	}
 	return base, stop, nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"time"
 
@@ -40,6 +41,13 @@ type WorkerConfig struct {
 	// private registry per RunWorker call — in-process multi-worker
 	// tests pass distinct registries so per-worker counters stay apart.
 	Metrics *obs.Registry
+	// Transport replaces the HTTP transport under the worker's client —
+	// the injection point for chaos.Transport. nil means the default.
+	Transport http.RoundTripper
+	// HeartbeatEvery overrides the lease-renewal interval (default
+	// TTL/3). Chaos soaks stretch it past the TTL to force
+	// renew-after-expiry races.
+	HeartbeatEvery time.Duration
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -61,14 +69,16 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 // process default) so in-process workers don't blend together and the
 // snapshot stays small.
 type workerMetrics struct {
-	reg         *obs.Registry
-	leases      *obs.Counter
-	renewals    *obs.Counter
-	cellsDone   *obs.Counter
-	cellsFailed *obs.Counter
-	abandoned   *obs.Counter
-	duplicates  *obs.Counter
-	cellSeconds *obs.Histogram
+	reg           *obs.Registry
+	leases        *obs.Counter
+	renewals      *obs.Counter
+	cellsDone     *obs.Counter
+	cellsFailed   *obs.Counter
+	abandoned     *obs.Counter
+	duplicates    *obs.Counter
+	resultsOK     *obs.Counter
+	resultsFailed *obs.Counter
+	cellSeconds   *obs.Histogram
 }
 
 func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
@@ -83,7 +93,13 @@ func newWorkerMetrics(reg *obs.Registry) *workerMetrics {
 		cellsFailed: reg.Counter("worker.cells_failed"),
 		abandoned:   reg.Counter("worker.cells_abandoned"),
 		duplicates:  reg.Counter("worker.results_duplicate"),
-		cellSeconds: reg.Histogram("worker.cell_seconds", obs.DurationBuckets),
+		// Per-worker report-outcome split: every completed cell attempts
+		// exactly one Report, so cells_done == results_ok +
+		// results_duplicate + results_failed is an identity the chaos soak
+		// asserts per worker.
+		resultsOK:     reg.Counter("worker.results_ok"),
+		resultsFailed: reg.Counter("worker.results_failed"),
+		cellSeconds:   reg.Histogram("worker.cell_seconds", obs.DurationBuckets),
 	}
 }
 
@@ -102,7 +118,8 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		return errors.New("dist: worker: coordinator URL required")
 	}
 	log := obs.Logger("dist").With("worker", cfg.ID)
-	client := NewClient(cfg.Coordinator, int64(backoff.Hash(0, cfg.ID)))
+	client := NewClientWith(cfg.Coordinator, int64(backoff.Hash(0, cfg.ID)),
+		ClientOptions{Transport: cfg.Transport})
 	wm := newWorkerMetrics(cfg.Metrics)
 
 	spec, released, err := client.Register(ctx, cfg.ID)
@@ -205,7 +222,10 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 	hbStop := make(chan struct{})
 	hbErr := make(chan error, 1)
 	go func() {
-		interval := ttl / 3
+		interval := cfg.HeartbeatEvery
+		if interval <= 0 {
+			interval = ttl / 3
+		}
 		if interval <= 0 {
 			interval = time.Second
 		}
@@ -256,27 +276,42 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 	}})
 	close(hbStop)
 
+	var leaseLost error
 	select {
 	case err := <-hbErr:
-		if errors.Is(err, ErrLeaseGone) {
-			mCellsAbandoned.Inc()
-			wm.abandoned.Inc()
-			return fmt.Errorf("dist: lease %s lost mid-cell: %w", lr.LeaseID, err)
+		if !errors.Is(err, ErrLeaseGone) {
+			return err
 		}
-		return err
+		leaseLost = err
 	default:
-	}
-	if runErr != nil {
-		wm.cellsFailed.Inc()
-		return runErr
 	}
 	raw, ok := results[key]
 	if !ok {
+		// No result to report. Lease loss cancelled the cell mid-flight —
+		// abandon it; otherwise it genuinely failed.
+		if leaseLost != nil {
+			mCellsAbandoned.Inc()
+			wm.abandoned.Inc()
+			return fmt.Errorf("dist: lease %s lost mid-cell: %w", lr.LeaseID, leaseLost)
+		}
 		wm.cellsFailed.Inc()
+		if runErr != nil {
+			return runErr
+		}
 		if len(rep.Failures) > 0 {
 			return fmt.Errorf("dist: cell failed: %w", rep.Failures[0])
 		}
 		return fmt.Errorf("dist: cell %s produced no result", key)
+	}
+	if leaseLost != nil {
+		// The cell finished before (or raced) the lease loss. The result
+		// is still valid — cells are deterministic — and the coordinator
+		// accepts late results for incomplete cells, so report it rather
+		// than throw away minutes of work. Found by the chaos soak: a
+		// delayed renew RPC could outlive the whole cell, and the computed
+		// result was silently discarded.
+		log.Info("lease lost after cell completed; reporting late result anyway",
+			"cell", key, "lease", lr.LeaseID)
 	}
 
 	// Bump the completion counters BEFORE taking the snapshot that rides
@@ -297,13 +332,17 @@ func runLease(ctx context.Context, client *Client, log *slog.Logger,
 		Metrics: wm.snapshot(),
 	})
 	if err != nil {
+		wm.resultsFailed.Inc()
 		return fmt.Errorf("dist: report %s: %w", key, err)
 	}
 	if dup {
 		wm.duplicates.Inc()
 		log.Info("result was a duplicate (byte-identical)", "cell", key)
-	} else if lr.Speculative {
-		log.Info("speculative copy won", "cell", key)
+	} else {
+		wm.resultsOK.Inc()
+		if lr.Speculative {
+			log.Info("speculative copy won", "cell", key)
+		}
 	}
 	return nil
 }

@@ -5,10 +5,64 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"tevot/internal/obs/trace"
 )
+
+// ManifestFS is the slice of filesystem behaviour the manifest writer
+// uses for its atomic temp-file + rename dance. It exists so
+// fault-injection tests (internal/chaos) can prove a failed write never
+// leaves a truncated run.json behind; production always runs on the os
+// passthrough.
+type ManifestFS interface {
+	CreateTemp(dir, pattern string) (ManifestFile, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// ManifestFile is the temp-file handle surface the manifest writer
+// needs.
+type ManifestFile interface {
+	Write(p []byte) (int, error)
+	Close() error
+	Name() string
+}
+
+type osManifestFS struct{}
+
+func (osManifestFS) CreateTemp(dir, pattern string) (ManifestFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osManifestFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osManifestFS) Remove(name string) error             { return os.Remove(name) }
+
+// manifestFS holds the active ManifestFS; swapped atomically so a test
+// injecting faults does not race the signal-handler manifest flush.
+// Boxed because atomic.Value requires one concrete type across stores.
+type manifestFSBox struct{ fs ManifestFS }
+
+var manifestFS atomic.Value // manifestFSBox
+
+func init() { manifestFS.Store(manifestFSBox{osManifestFS{}}) }
+
+// SetManifestFS replaces the filesystem behind manifest writes and
+// returns a restore function. Test-only; pass nil to reset to the os
+// passthrough directly.
+func SetManifestFS(fsys ManifestFS) (restore func()) {
+	prev := manifestFS.Load().(manifestFSBox)
+	if fsys == nil {
+		fsys = osManifestFS{}
+	}
+	manifestFS.Store(manifestFSBox{fsys})
+	return func() { manifestFS.Store(prev) }
+}
 
 // Manifest is the auditable record of one CLI run, written as run.json
 // next to the run's outputs: what was run (command, args, resolved flag
@@ -59,12 +113,13 @@ func (m *Manifest) write(path string) error {
 		return fmt.Errorf("obs: encoding run manifest: %w", err)
 	}
 	data = append(data, '\n')
+	fsys := manifestFS.Load().(manifestFSBox).fs
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".run-*.json.tmp")
+	tmp, err := fsys.CreateTemp(dir, ".run-*.json.tmp")
 	if err != nil {
 		return fmt.Errorf("obs: writing run manifest: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("obs: writing run manifest: %w", err)
@@ -72,7 +127,7 @@ func (m *Manifest) write(path string) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("obs: writing run manifest: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("obs: writing run manifest: %w", err)
 	}
 	return nil

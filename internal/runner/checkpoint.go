@@ -63,14 +63,15 @@ type loadResult struct {
 // torn reports whether the file ends in a partial write.
 func (lr loadResult) torn() bool { return lr.size > lr.goodEnd }
 
-// loadCheckpoint reads entries from path. A missing file is an empty
-// checkpoint, not an error. A torn final line — unparsable bytes, or a
-// line missing its terminating newline (both are what an interrupted
-// append leaves) — is reported via loadResult.torn, not an error; an
-// unparsable line anywhere else is corruption and fails the load.
-func loadCheckpoint(path, sweep string) (loadResult, error) {
+// loadCheckpoint reads entries from path via fsys. A missing file is an
+// empty checkpoint, not an error. A torn final line — unparsable bytes,
+// or a line missing its terminating newline (both are what an
+// interrupted append leaves) — is reported via loadResult.torn, not an
+// error; an unparsable line anywhere else is corruption and fails the
+// load.
+func loadCheckpoint(fsys FS, path, sweep string) (loadResult, error) {
 	lr := loadResult{done: map[string]json.RawMessage{}}
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return lr, nil
 	}
@@ -169,19 +170,26 @@ func loadCheckpoint(path, sweep string) (loadResult, error) {
 // A Journal is not safe for concurrent use; both its users call it from
 // a single collector goroutine.
 type Journal struct {
-	f    *os.File
+	f    File
 	path string
 }
 
-// OpenJournal opens path for a sweep. With resume=true it first loads
-// the recorded entries (returning them keyed by cell), truncates any
-// torn trailing write, and positions for append; with resume=false it
-// truncates the file entirely and writes a fresh header. The sweep name
-// is pinned in the header: resuming a journal written under a different
-// name is refused.
+// OpenJournal opens path for a sweep on the real filesystem. See
+// OpenJournalFS for the behaviour contract; the variants differ only in
+// which FS backs the file.
 func OpenJournal(path, sweep string, resume bool) (*Journal, map[string]json.RawMessage, error) {
+	return OpenJournalFS(OSFS, path, sweep, resume)
+}
+
+// OpenJournalFS opens path for a sweep through fsys. With resume=true it
+// first loads the recorded entries (returning them keyed by cell),
+// truncates any torn trailing write, and positions for append; with
+// resume=false it truncates the file entirely and writes a fresh header.
+// The sweep name is pinned in the header: resuming a journal written
+// under a different name is refused.
+func OpenJournalFS(fsys FS, path, sweep string, resume bool) (*Journal, map[string]json.RawMessage, error) {
 	if !resume {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -192,11 +200,11 @@ func OpenJournal(path, sweep string, resume bool) (*Journal, map[string]json.Raw
 		return &Journal{f: f, path: path}, map[string]json.RawMessage{}, nil
 	}
 
-	lr, err := loadCheckpoint(path, sweep)
+	lr, err := loadCheckpoint(fsys, path, sweep)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -226,7 +234,7 @@ func OpenJournal(path, sweep string, resume bool) (*Journal, map[string]json.Raw
 	return &Journal{f: f, path: path}, lr.done, nil
 }
 
-func writeHeader(f *os.File, sweep string) error {
+func writeHeader(f File, sweep string) error {
 	b, err := json.Marshal(checkpointHeader{Format: checkpointFormat, Version: checkpointVersion, Sweep: sweep})
 	if err != nil {
 		return err

@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow slice of filesystem behaviour the checkpoint/journal
+// layer needs. It exists so a fault-injection layer (internal/chaos) can
+// sit between the journal and the real disk and exercise the torn-tail,
+// short-write, ENOSPC, and fsync-failure recovery paths that are
+// otherwise only reachable by killing processes at just the right
+// instant. Production code uses OSFS and never pays an extra branch.
+type FS interface {
+	// Open opens a file read-only (os.Open semantics: a missing file
+	// returns an error satisfying os.IsNotExist).
+	Open(name string) (File, error)
+	// OpenFile opens with the given flag/perm (os.OpenFile semantics).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+}
+
+// File is the file handle surface the journal uses: sequential reads on
+// load, append writes + Sync per entry, Truncate/Seek for torn-tail
+// repair.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// OSFS is the passthrough FS backed by the real os package. It is the
+// default everywhere an FS is optional.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

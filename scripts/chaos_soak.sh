@@ -1,0 +1,46 @@
+#!/bin/sh
+# Chaos soak driver: run the seeded fault-schedule corpus against the
+# distributed sweep (internal/chaos + TestChaosSoak), or replay one
+# schedule verbatim.
+#
+#   scripts/chaos_soak.sh             full corpus (25 generated schedules
+#                                     + pinned regressions) under -race
+#   scripts/chaos_soak.sh -short      short corpus (5 schedules + regressions)
+#   scripts/chaos_soak.sh -seed 17    replay schedule 17 exactly, verbose
+#
+# Schedules are pure functions of their seed, so a seed printed by a
+# failing run reproduces the identical fault plan here (goroutine
+# interleaving still varies run to run; the invariants hold under all
+# interleavings or the test fails).
+set -eu
+cd "$(dirname "$0")/.."
+
+SEED=""
+SHORT=""
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-seed)
+		[ $# -ge 2 ] || { echo "usage: $0 [-seed N] [-short]" >&2; exit 2; }
+		SEED=$2
+		shift 2
+		;;
+	-short)
+		SHORT="-short"
+		shift
+		;;
+	*)
+		echo "usage: $0 [-seed N] [-short]" >&2
+		exit 2
+		;;
+	esac
+done
+
+if [ -n "$SEED" ]; then
+	echo "== chaos soak: replaying schedule seed=$SEED"
+	TEVOT_CHAOS_SEED="$SEED" exec go test -race -count=1 -v \
+		-run 'TestChaosSoak' ./internal/dist
+fi
+
+echo "== chaos soak: generated corpus ${SHORT:+(short) }+ pinned regressions"
+go test -race -count=1 $SHORT -run 'TestChaosSoak|TestChaosRegressions' ./internal/dist
+echo "ok"

@@ -44,6 +44,9 @@ go test -race -run 'TestLocalClusterByteIdentical|TestCoordinatorResumesFromJour
 echo "== distributed sweep smoke: real processes, SIGKILL a worker mid-run"
 sh scripts/cluster_smoke.sh
 
+echo "== chaos soak (short profile): seeded network/disk/clock fault schedules"
+sh scripts/chaos_soak.sh -short
+
 echo "== go test -race ./..."
 go test -race ./...
 

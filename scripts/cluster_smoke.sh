@@ -24,25 +24,37 @@ COORD_PID=""
 W1_PID=""
 W2_PID=""
 cleanup() {
+	# Kill AND reap: a TERM without a wait leaves orphans running on the
+	# coordinator port after the script exits (found by the chaos work —
+	# a failed assertion used to strand both workers).
 	for pid in "$COORD_PID" "$W1_PID" "$W2_PID"; do
 		[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	done
+	for pid in "$COORD_PID" "$W1_PID" "$W2_PID"; do
+		[ -n "$pid" ] && wait "$pid" 2>/dev/null || true
 	done
 	rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
 
-SWEEP_FLAGS="-cycles 300 -fu INT_ADD -images 1 -imgsize 12 -seed 1"
+# Sized so the sweep runs for seconds, not milliseconds: the SIGKILL
+# below must land while cells are still in flight, and a too-small
+# sweep can finish inside one poll interval of the kill-window loop
+# (the worker exits first and the drill degenerates into a plain run).
+SWEEP_FLAGS="-cycles 3000 -fu INT_ADD -images 1 -imgsize 16 -seed 1"
 
 echo "-- building binaries"
 go build -o "$TMP/tevot-sweep" ./cmd/tevot-sweep
 go build -o "$TMP/tevot-worker" ./cmd/tevot-worker
 
 echo "-- single-process reference sweep"
-"$TMP/tevot-sweep" $SWEEP_FLAGS -out "$TMP/ref.jsonl" >/dev/null 2>&1
+"$TMP/tevot-sweep" $SWEEP_FLAGS -out "$TMP/ref.jsonl" \
+	-run-json "$TMP/ref-run.json" >/dev/null 2>&1
 
 echo "-- coordinator + 2 workers, SIGKILL one mid-run"
 "$TMP/tevot-sweep" $SWEEP_FLAGS -coordinator 127.0.0.1:0 -lease-ttl 3s \
 	-checkpoint "$TMP/journal.jsonl" -out "$TMP/dist.jsonl" \
+	-run-json "$TMP/coord-run.json" \
 	>"$TMP/coord.out" 2>"$TMP/coord.log" &
 COORD_PID=$!
 
@@ -57,17 +69,25 @@ while [ $i -lt 100 ]; do
 done
 [ -n "$ADDR" ] || { echo "FAIL: coordinator never logged its address"; cat "$TMP/coord.log"; exit 1; }
 
-"$TMP/tevot-worker" -coordinator "$ADDR" -id smoke-a >/dev/null 2>"$TMP/w1.log" &
+# Manifests go into $TMP too: the workers' cwd is the repo root, and
+# the default -run-json run.json would litter (and race over) a
+# run.json in the checkout.
+"$TMP/tevot-worker" -coordinator "$ADDR" -id smoke-a \
+	-run-json "$TMP/w1-run.json" >/dev/null 2>"$TMP/w1.log" &
 W1_PID=$!
-"$TMP/tevot-worker" -coordinator "$ADDR" -id smoke-b >/dev/null 2>"$TMP/w2.log" &
+"$TMP/tevot-worker" -coordinator "$ADDR" -id smoke-b \
+	-run-json "$TMP/w2-run.json" >/dev/null 2>"$TMP/w2.log" &
 W2_PID=$!
 
-# Wait for at least one completed cell so the kill happens mid-run.
+# Wait for at least one completed cell so the kill happens mid-run. If
+# the coordinator dies here, fail with its log instead of spinning out
+# the full window against a dead endpoint.
 i=0
 DONE=0
 while [ $i -lt 200 ]; do
 	DONE=$(curl -s "$ADDR/progress" 2>/dev/null | grep -o '"done":[0-9]*' | head -1 | cut -d: -f2) || true
 	[ "${DONE:-0}" -ge 1 ] && break
+	kill -0 "$COORD_PID" 2>/dev/null || { echo "FAIL: coordinator died mid-run"; cat "$TMP/coord.log"; exit 1; }
 	sleep 0.1
 	i=$((i + 1))
 done
@@ -121,3 +141,16 @@ DUPS=$(grep '^tevot_dist_results_duplicate_total ' "$TMP/coord.prom" | awk '{pri
 	exit 1
 }
 echo "   cluster telemetry balanced: cells_done=$AGG == rows=$ROWS + duplicates=$DUPS"
+
+# No stray processes: every worker and the coordinator must be gone now
+# that the run completed — an orphan here means a leaked supervisor or
+# a worker that never heard "done".
+if command -v pgrep >/dev/null 2>&1; then
+	STRAYS=$(pgrep -f "$TMP/tevot-" 2>/dev/null || true)
+	[ -z "$STRAYS" ] || {
+		echo "FAIL: stray sweep processes survived the run: $STRAYS"
+		ps -p $STRAYS 2>/dev/null || true
+		exit 1
+	}
+	echo "   no stray worker or coordinator processes"
+fi
