@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-json fuzz serve cluster cluster-smoke chaos
+.PHONY: build test check bench bench-json fuzz serve cluster cluster-smoke chaos loadgen loadgen-ab
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,22 @@ serve:
 	@test -f $(MODEL) || $(GO) run ./cmd/tevot-train \
 		-fu $(basename $(notdir $(MODEL))) -savemodels $(dir $(MODEL))
 	$(GO) run ./cmd/tevot-serve -model $(MODEL) -addr $(SERVE_ADDR)
+
+# Open-loop saturation ramp against a running server (boot one with
+# `make serve`). Override the schedule with e.g.
+#   make loadgen LOADGEN_URL=http://127.0.0.1:9090 LOADGEN_RPS=500,1000,2000
+LOADGEN_URL ?= http://127.0.0.1:8080
+LOADGEN_RPS ?= 100,250,500,1000
+LOADGEN_STEP ?= 5s
+loadgen:
+	$(GO) run ./cmd/tevot-loadgen -url $(LOADGEN_URL) \
+		-rps $(LOADGEN_RPS) -step $(LOADGEN_STEP)
+
+# Batching A/B: run the same ramp against -batch 64 and -batch 1
+# servers over the same model and write LOADGEN_saturation.json
+# comparing sustained RPS at a bounded p99.
+loadgen-ab:
+	sh scripts/loadgen_ab.sh
 
 # In-process local cluster: coordinator + CLUSTER_WORKERS workers in one
 # process, merged output at CLUSTER_OUT (byte-identical to a

@@ -1,23 +1,26 @@
 // Command tevot-serve is the hardened online prediction service: it
-// loads a trained model gob (tevot-train -savemodels) and serves
-// per-cycle delay and timing-error predictions over HTTP with the
-// failure modes of a production predictor handled explicitly —
-// admission control with load shedding, per-request deadlines, panic
-// isolation, graceful drain on SIGINT/SIGTERM, and validated model
-// hot-reload on SIGHUP or POST /admin/reload.
+// loads one or more trained model gobs (tevot-train -savemodels) and
+// serves per-cycle delay and timing-error predictions over HTTP with
+// the failure modes of a production predictor handled explicitly —
+// request coalescing into shared inference batches, per-FU model
+// sharding, admission control with load shedding, per-request
+// deadlines, panic isolation, graceful drain on SIGINT/SIGTERM, and
+// validated model hot-reload on SIGHUP or POST /admin/reload.
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness
-//	GET  /readyz        readiness (503 once draining)
-//	POST /v1/predict    {"voltage","temperature","pairs","clocks"}
-//	POST /admin/reload  {"path"} (optional; defaults to -model)
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 once draining)
+//	GET  /metrics            Prometheus exposition
+//	POST /v1/predict         {"voltage","temperature","pairs","clocks"}
+//	POST /v1/predict/{fu}    same, routed to one functional unit's shard
+//	POST /admin/reload       {"path","fu"} (both optional)
 //
 // Example:
 //
 //	tevot-train -fu INT_ADD -savemodels models
-//	tevot-serve -model models/INT_ADD.tevot -addr :8080
-//	curl -s localhost:8080/v1/predict -d '{"voltage":0.9,"temperature":25,
+//	tevot-serve -model models/INT_ADD.tevot -model models/INT_MUL.tevot -addr :8080
+//	curl -s localhost:8080/v1/predict/INT_MUL -d '{"voltage":0.9,"temperature":25,
 //	  "pairs":[{"a":1,"b":2},{"a":3,"b":4}],"clocks":[700]}'
 package main
 
@@ -40,16 +43,23 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tevot-serve: ")
+	var modelPaths []string
+	flag.Func("model", "trained model gob from tevot-train -savemodels (repeatable: one shard per functional unit; the first is the default /v1/predict unit)", func(v string) error {
+		modelPaths = append(modelPaths, v)
+		return nil
+	})
 	var (
 		addr      = flag.String("addr", ":8080", "listen address (\":0\" picks a port)")
-		modelPath = flag.String("model", "", "trained model gob from tevot-train -savemodels (required)")
-		workers   = flag.Int("workers", 0, "inference worker pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 64, "admission queue depth; a full queue sheds with 429")
+		workers   = flag.Int("workers", 0, "total inference worker count, spread across units (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "per-unit admission queue depth; a full unit sheds with 429")
+		batchSize = flag.Int("batch", 32, "coalesce up to this many requests into one inference batch (1 = no coalescing)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max time the first request in a batch waits for riders before flushing")
+		batchRows = flag.Int("batch-rows", 8192, "flush a batch once it holds this many predicted cycles")
 		reqTO     = flag.Duration("req-timeout", 5*time.Second, "server-side per-request deadline; expiry answers 503")
 		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes; larger bodies answer 413")
 		maxPairs  = flag.Int("max-pairs", 4097, "operand pairs per request cap")
-		auditN    = flag.Int("audit-cycles", 0, "simulate this many cycles at startup and report model-vs-ground-truth RMSE (0 = off)")
+		auditN    = flag.Int("audit-cycles", 0, "simulate this many cycles at startup and report model-vs-ground-truth RMSE per unit (0 = off)")
 		memoSet   = flag.String("memo", "on", "transition memo cache for the startup audit: on, off, or an entry cap")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
@@ -70,17 +80,21 @@ func main() {
 	}
 	defer run.Close()
 
-	if *modelPath == "" {
+	if len(modelPaths) == 0 {
 		run.Fatal("-model is required (train one with: tevot-train -savemodels <dir>)")
 	}
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		run.Fatal(err)
-	}
-	model, err := core.LoadModel(f)
-	f.Close()
-	if err != nil {
-		run.Fatalf("loading %s: %v", *modelPath, err)
+	var entries []serve.ModelEntry
+	for _, p := range modelPaths {
+		f, err := os.Open(p)
+		if err != nil {
+			run.Fatal(err)
+		}
+		model, err := core.LoadModel(f)
+		f.Close()
+		if err != nil {
+			run.Fatalf("loading %s: %v", p, err)
+		}
+		entries = append(entries, serve.ModelEntry{Model: model, Path: p})
 	}
 
 	if *auditN > 0 {
@@ -88,21 +102,25 @@ func main() {
 		if err != nil {
 			run.Fatal(err)
 		}
-		rep, err := serve.Audit(context.Background(), model, serve.AuditConfig{
-			Cycles: *auditN, Seed: 1, MemoOff: memo.MemoOff, MemoSize: memo.MemoSize,
-		})
-		if err != nil {
-			run.Fatal(err)
+		for _, e := range entries {
+			rep, err := serve.Audit(context.Background(), e.Model, serve.AuditConfig{
+				Cycles: *auditN, Seed: 1, MemoOff: memo.MemoOff, MemoSize: memo.MemoSize,
+			})
+			if err != nil {
+				run.Fatal(err)
+			}
+			run.Note("startup audit "+e.Model.FU.String(), rep)
 		}
-		run.Note("startup audit", rep)
 	}
 
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
-		Model:          model,
-		ModelPath:      *modelPath,
+		Models:         entries,
 		Workers:        *workers,
 		QueueDepth:     *queue,
+		BatchSize:      *batchSize,
+		MaxBatchRows:   *batchRows,
+		MaxWait:        *batchWait,
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
 		MaxBodyBytes:   *maxBody,
@@ -113,8 +131,9 @@ func main() {
 	}
 	srvPtr.Store(s)
 
-	// SIGINT/SIGTERM start the graceful drain; SIGHUP hot-reloads the
-	// model from -model through the same validated path as /admin/reload.
+	// SIGINT/SIGTERM start the graceful drain; SIGHUP hot-reloads every
+	// unit's model from its path through the same validated path as
+	// /admin/reload.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	hup := make(chan os.Signal, 1)
@@ -122,10 +141,10 @@ func main() {
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
-			if gen, err := s.Reload(""); err != nil {
-				run.Log.Error("SIGHUP reload rejected; still serving the old model", "err", err)
+			if err := s.ReloadAll(); err != nil {
+				run.Log.Error("SIGHUP reload rejected; still serving the old model(s)", "err", err)
 			} else {
-				run.Log.Info("SIGHUP reload complete", "generation", gen)
+				run.Log.Info("SIGHUP reload complete", "generation", s.Generation())
 			}
 		}
 	}()

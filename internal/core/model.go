@@ -130,6 +130,45 @@ func (m *Model) PredictErrors(corner cells.Corner, s *workload.Stream, tclk floa
 // scratch buffers — the serving worker pool — size rows with it.
 func (m *Model) Dim() int { return m.dim }
 
+// FillFeatureRows fills one feature row per predicted cycle — cycle i
+// applies pairs[i+1] after pairs[i] — at the given corner, without
+// predicting. X must hold at least len(pairs)-1 rows of width Dim();
+// row contents are overwritten and nothing is retained or allocated.
+// Splitting the fill from the forest call lets a serving coalescer pack
+// rows from requests at *different* corners into one contiguous batch
+// and amortize a single PredictRowsInto over all of them.
+func (m *Model) FillFeatureRows(X [][]float64, corner cells.Corner, pairs []workload.OperandPair) error {
+	n := len(pairs) - 1
+	if n < 1 {
+		return fmt.Errorf("core: need at least 2 operand pairs, got %d", len(pairs))
+	}
+	if len(X) < n {
+		return fmt.Errorf("core: scratch holds %d rows, need %d", len(X), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(X[i]) != m.dim {
+			return fmt.Errorf("core: scratch row %d has width %d, model wants %d", i, len(X[i]), m.dim)
+		}
+		if m.History {
+			features.VectorInto(X[i], corner, pairs[i+1], pairs[i])
+		} else {
+			features.VectorNHInto(X[i], corner, pairs[i+1])
+		}
+	}
+	return nil
+}
+
+// PredictRowsInto runs the forest over pre-filled feature rows (see
+// FillFeatureRows), writing len(X) delays into dst. It allocates
+// nothing; large batches fan out across the forest's internal workers.
+func (m *Model) PredictRowsInto(dst []float64, X [][]float64) error {
+	if len(dst) < len(X) {
+		return fmt.Errorf("core: dst holds %d delays, need %d", len(dst), len(X))
+	}
+	m.forest.PredictBatchInto(dst[:len(X)], X)
+	return nil
+}
+
 // PredictDelaysPairsInto is the zero-allocation serving path: it
 // predicts the dynamic delay of cycle i (pairs[i+1] applied after
 // pairs[i]) for i in [0, len(pairs)-1), writing into dst. X is caller
@@ -145,21 +184,10 @@ func (m *Model) PredictDelaysPairsInto(dst []float64, X [][]float64, corner cell
 	if len(dst) < n {
 		return fmt.Errorf("core: dst holds %d delays, need %d", len(dst), n)
 	}
-	if len(X) < n {
-		return fmt.Errorf("core: scratch holds %d rows, need %d", len(X), n)
+	if err := m.FillFeatureRows(X[:n], corner, pairs); err != nil {
+		return err
 	}
-	for i := 0; i < n; i++ {
-		if len(X[i]) != m.dim {
-			return fmt.Errorf("core: scratch row %d has width %d, model wants %d", i, len(X[i]), m.dim)
-		}
-		if m.History {
-			features.VectorInto(X[i], corner, pairs[i+1], pairs[i])
-		} else {
-			features.VectorNHInto(X[i], corner, pairs[i+1])
-		}
-	}
-	m.forest.PredictBatchInto(dst[:n], X[:n])
-	return nil
+	return m.PredictRowsInto(dst[:n], X[:n])
 }
 
 // PredictDelays estimates the dynamic delay of every cycle of a stream.

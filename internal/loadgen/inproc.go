@@ -1,0 +1,30 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+)
+
+// HandlerTransport is an http.RoundTripper that dispatches requests
+// directly to an in-process http.Handler — the loadgen's server-stack
+// saturation mode. On hosts where the client and server share cores,
+// the kernel socket path (identical in both arms of an A/B) dominates
+// per-request cost and buries server-side differences in scheduler
+// noise; direct dispatch keeps the full handler → coalescer → metrics
+// path under measurement while removing the network from it. The
+// request still crosses a real http.Client, the mux, admission, and
+// the batch pipeline, so outcome accounting is identical to the
+// socket path.
+type HandlerTransport struct {
+	Handler http.Handler
+}
+
+// RoundTrip serves the request synchronously on the caller's
+// goroutine and returns the recorded response.
+func (t HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.Handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}

@@ -44,6 +44,7 @@ func MergeHistogramSnapshots(a, b HistogramSnapshot) (HistogramSnapshot, error) 
 	}
 	out.P50 = out.Quantile(0.50)
 	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
 	return out, nil
 }
 

@@ -289,6 +289,7 @@ type HistogramSnapshot struct {
 	Max     float64         `json:"max"`
 	P50     float64         `json:"p50"`
 	P95     float64         `json:"p95"`
+	P99     float64         `json:"p99"`
 	Buckets []BucketSnaphot `json:"buckets"`
 }
 
@@ -355,6 +356,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Max:   h.Max(),
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
 	}
 	cum := int64(0)
 	for i := range h.buckets {

@@ -17,40 +17,75 @@ import (
 )
 
 // Hot-reload: the new gob is decoded into a side buffer (core.LoadModel
-// under its size caps), validated against the serving model, probed for
-// finite predictions, and only then swapped in atomically. Failure at
-// any step leaves the old model serving untouched — a corrupt,
-// truncated, or wrong-unit file can cost a 4xx on /admin/reload, never
-// an outage.
+// under its size caps), validated against the unit's serving model,
+// probed for finite predictions, and only then swapped in atomically.
+// Failure at any step leaves the old model serving untouched — a
+// corrupt, truncated, or wrong-unit file can cost a 4xx on
+// /admin/reload, never an outage. Each functional unit reloads
+// independently under its own generation; a flush in progress loaded
+// its model state before the swap and finishes on it, so no batch ever
+// mixes generations.
 
-// Reload loads, validates, and swaps in the model at path (""  means
-// the path of the current model). It returns the new generation.
-// Concurrent reloads serialize; predicts never block on a reload.
+// Reload loads, validates, and swaps in the model at path for the
+// default unit ("" means the path of its current model). It returns
+// the new generation. Concurrent reloads of one unit serialize;
+// predicts never block on a reload.
 func (s *Server) Reload(path string) (int64, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+	return s.reloadUnit(s.units[0], path)
+}
+
+// ReloadFU reloads one functional unit's model by FU name.
+func (s *Server) ReloadFU(fu, path string) (int64, error) {
+	u, ok := s.unitFor(fu)
+	if !ok {
+		mReloadBad.Inc()
+		return 0, fmt.Errorf("serve: no model serves %q; units: %v", fu, s.FUs())
+	}
+	return s.reloadUnit(u, path)
+}
+
+// ReloadAll reloads every unit from its current model path (the SIGHUP
+// behavior). Units without a path, or with a rejected candidate, keep
+// serving their current model; the first error is returned after every
+// unit has been attempted.
+func (s *Server) ReloadAll() error {
+	var first error
+	for _, u := range s.units {
+		if _, err := s.reloadUnit(u, ""); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Server) reloadUnit(u *unit, path string) (int64, error) {
+	u.reloadMu.Lock()
+	defer u.reloadMu.Unlock()
 	log := obs.Logger("serve")
-	cur := s.state.Load()
+	cur := u.state.Load()
 	if path == "" {
 		path = cur.path
 	}
 	if path == "" {
 		mReloadBad.Inc()
-		return 0, fmt.Errorf("serve: no model path to reload from")
+		return 0, fmt.Errorf("serve: no model path to reload %s from", u.fu)
 	}
 	next, err := loadAndValidate(path, cur.model)
 	if err != nil {
 		mReloadBad.Inc()
 		log.Error("model reload rejected; keeping current model",
-			"path", path, "generation", cur.generation, "err", err)
+			"fu", u.fu, "path", path, "generation", cur.generation, "err", err)
 		return 0, err
 	}
 	st := &modelState{model: next, generation: cur.generation + 1, path: path, loaded: time.Now()}
-	s.state.Store(st)
-	gGeneration.Set(float64(st.generation))
+	u.state.Store(st)
+	u.gGen.Set(float64(st.generation))
+	if u == s.units[0] {
+		gGeneration.Set(float64(st.generation))
+	}
 	mReloadOK.Inc()
-	log.Info("model hot-reloaded", "path", path, "generation", st.generation,
-		"fu", next.FU.String(), "dim", next.Dim())
+	log.Info("model hot-reloaded", "fu", u.fu, "path", path,
+		"generation", st.generation, "dim", next.Dim())
 	return st.generation, nil
 }
 
@@ -112,7 +147,8 @@ func probeModel(m *core.Model) (err error) {
 }
 
 // handleReload is POST /admin/reload with an optional JSON body
-// {"path": "..."}; an empty body reloads the current model path.
+// {"path": "...", "fu": "..."}; an empty body reloads the default
+// unit's current model path, "fu" targets one unit's shard.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -121,20 +157,32 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	var body struct {
 		Path string `json:"path"`
+		FU   string `json:"fu"`
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, 4096)
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
 		WriteError(w, http.StatusBadRequest, "malformed_json", err.Error())
 		return
 	}
-	gen, err := s.Reload(body.Path)
+	u := s.units[0]
+	if body.FU != "" {
+		var ok bool
+		if u, ok = s.unitFor(body.FU); !ok {
+			mReloadBad.Inc()
+			WriteError(w, http.StatusNotFound, "unknown_fu",
+				fmt.Sprintf("no model serves %q; units: %v", body.FU, s.FUs()))
+			return
+		}
+	}
+	gen, err := s.reloadUnit(u, body.Path)
 	if err != nil {
 		WriteError(w, http.StatusUnprocessableEntity, "reload_failed", err.Error())
 		return
 	}
-	st := s.state.Load()
+	st := u.state.Load()
 	WriteJSON(w, http.StatusOK, map[string]any{
 		"status":           "reloaded",
+		"fu":               u.fu,
 		"model_generation": gen,
 		"path":             st.path,
 	})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	"tevot/internal/workload"
 )
@@ -34,6 +35,22 @@ type predictResponse struct {
 	ModelGeneration int64         `json:"model_generation"`
 	Delays          []float64     `json:"delays"`
 	Clocks          []clockResult `json:"clocks,omitempty"`
+	Batch           *batchInfo    `json:"batch,omitempty"`
+}
+
+// batchInfo is the per-item timing breakdown of the coalesced flush
+// that served the request: when it was admitted, when its batch
+// flushed, how long the shared forest call took, and what the batch
+// looked like. Clients use queue_us to see the latency price of
+// coalescing and items/flush_reason to see how well traffic batches.
+type batchInfo struct {
+	QueuedAt    time.Time `json:"queued_at"`
+	FlushedAt   time.Time `json:"flushed_at"`
+	QueueUS     int64     `json:"queue_us"`
+	InferenceUS int64     `json:"inference_us"`
+	Items       int       `json:"items"`
+	Rows        int       `json:"rows"`
+	Reason      string    `json:"flush_reason"`
 }
 
 type clockResult struct {

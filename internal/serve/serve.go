@@ -6,26 +6,40 @@
 // decisions online. It is stdlib-only (net/http) and built around the
 // failure modes a production predictor actually meets:
 //
-//   - admission control: a bounded queue feeding a fixed worker pool;
-//     when the queue is full the request is shed immediately with 429 +
-//     Retry-After instead of queueing unboundedly;
+//   - request coalescing: individual /v1/predict calls accumulate into
+//     a shared batch per functional unit, flushed on size, row, or
+//     MaxWait triggers (whichever first) so one forest call amortizes
+//     over many callers; each response carries its batch's timing
+//     breakdown (queued_at, flushed_at, inference_us, flush_reason);
+//   - per-FU model sharding: each functional unit's model serves from
+//     its own shard (coalescer + worker slice + hot-reload generation)
+//     behind one mux: /v1/predict/{fu} routes by unit, /v1/predict
+//     keeps the legacy single-model contract on the default unit;
+//   - admission control: a bounded per-unit queue; when the unit is
+//     full the request is shed immediately with 429 + a Retry-After
+//     derived from the current flush interval, instead of queueing
+//     unboundedly;
 //   - per-request deadlines: the request context carries a server-side
-//     timeout into inference; expiry answers 503;
+//     timeout into the batch; a request that expires while queued is
+//     answered 503 before the flush and removed from the batch;
 //   - strict input hygiene: MaxBytesReader-capped bodies and structured
 //     4xx errors for malformed, non-finite, or wrong-dimension inputs;
 //   - panic isolation: recovery middleware (handler goroutines) and
 //     worker-side recovery keep the process serving after a panic;
-//   - graceful drain: readiness flips to draining, in-flight requests
-//     complete under a drain deadline, workers stop, and the process
-//     exits through obs.Run so manifests and profiles survive;
+//   - graceful drain: readiness flips to draining, in-flight partial
+//     batches flush immediately, in-flight requests complete under a
+//     drain deadline, workers stop, and the process exits through
+//     obs.Run so manifests and profiles survive;
 //   - validated hot-reload: a new model gob is decoded into a side
 //     buffer, validated (FU/dimension match, finite predictions on a
-//     probe batch), then swapped atomically; a corrupt or truncated gob
-//     never interrupts serving.
+//     probe batch), then swapped atomically per unit; a flush loads the
+//     unit's model state exactly once, so a reload racing a batch never
+//     serves a torn model.
 //
-// The inference hot path reuses per-worker feature/delay buffers
-// through core.Model.PredictDelaysPairsInto, so steady-state prediction
-// does not touch the garbage collector.
+// The inference hot path reuses per-worker feature/delay buffers and
+// recycled batch/item structs, so steady-state coalesced prediction
+// does not touch the garbage collector (pinned at 0 allocs/op by
+// TestServeBatchHotPathAllocs).
 package serve
 
 import (
@@ -34,65 +48,60 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"tevot/internal/cells"
 	"tevot/internal/core"
 	"tevot/internal/obs"
 )
 
-// Serving metrics, published through the obs default registry (expvar
-// "tevot", the run manifest, and -debug-addr /debug/vars). The
-// accounting identity the smoke harness asserts: every /v1/predict
-// request lands in exactly one outcome counter, so
-//
-//	requests == served + shed + timeouts + canceled + bad_requests
-//	            + internal_errors
-//
-// serve.panics counts panic *events* (worker or handler goroutine); a
-// worker panic surfaces to its request as an internal_error, so panics
-// ride alongside the identity rather than inside it.
-var (
-	mRequests  = obs.NewCounter("serve.requests")
-	mServed    = obs.NewCounter("serve.served")
-	mShed      = obs.NewCounter("serve.shed")
-	mTimeouts  = obs.NewCounter("serve.timeouts")
-	mCanceled  = obs.NewCounter("serve.canceled")
-	mBad       = obs.NewCounter("serve.bad_requests")
-	mInternal  = obs.NewCounter("serve.internal_errors")
-	mPanics    = obs.NewCounter("serve.panics")
-	mReloadOK  = obs.NewCounter("serve.reloads_ok")
-	mReloadBad = obs.NewCounter("serve.reloads_failed")
-	mDropped   = obs.NewCounter("serve.jobs_dropped")
-
-	gQueueDepth = obs.NewGauge("serve.queue_depth")
-	gGeneration = obs.NewGauge("serve.model_generation")
-	gDraining   = obs.NewGauge("serve.draining")
-
-	hRequestSec = obs.NewHistogram("serve.request_seconds", []float64{
-		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
-		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-	})
-)
+// ModelEntry is one functional unit's model in a multi-FU serving
+// configuration: the trained model plus the gob path its hot-reloads
+// re-read by default.
+type ModelEntry struct {
+	Model *core.Model
+	Path  string
+}
 
 // Config sizes and parameterizes one prediction server. The zero value
-// of every field has a production-sane default; Model is the only
-// required field.
+// of every field has a production-sane default; Model (or Models) is
+// the only required field.
 type Config struct {
 	// Addr is the listen address for ListenAndServe (":0" picks a port).
 	Addr string
-	// Model is the initial trained model. Required.
+	// Model is the initial trained model for single-unit serving.
+	// Ignored when Models is set.
 	Model *core.Model
 	// ModelPath is the gob file reloads re-read when a reload request
-	// names no path (and the file SIGHUP reloads from).
+	// names no path (and the file SIGHUP reloads from). Single-unit
+	// companion of Model.
 	ModelPath string
-	// Workers is the inference worker-pool size (default GOMAXPROCS).
+	// Models serves several functional units from one process, each
+	// behind /v1/predict/{fu} with its own coalescer, worker slice, and
+	// reload generation. The first entry is the default unit answering
+	// the legacy /v1/predict route. FUs must be distinct.
+	Models []ModelEntry
+	// Workers is the total inference worker count, spread across units
+	// (default GOMAXPROCS, at least one per unit).
 	Workers int
-	// QueueDepth bounds the admission queue (default 64). A full queue
-	// sheds with 429 instead of queueing.
+	// QueueDepth bounds each unit's admission queue (default 64): the
+	// number of requests queued or accumulating but not yet dispatched
+	// to a worker. A full unit sheds with 429.
 	QueueDepth int
+	// BatchSize flushes a unit's accumulating batch when this many
+	// requests have coalesced (default 32). 1 disables coalescing:
+	// every request flushes alone, immediately.
+	BatchSize int
+	// MaxBatchRows flushes when the accumulated predicted cycles reach
+	// this bound (default 8192), so a few huge requests cannot hold a
+	// batch open or blow up the flush's working set.
+	MaxBatchRows int
+	// MaxWait bounds how long the first request in a batch waits for
+	// riders before the batch flushes anyway (default 2ms). This is the
+	// latency price of coalescing under light load.
+	MaxWait time.Duration
 	// RequestTimeout is the server-side per-request deadline applied to
 	// /v1/predict (default 5s). Expiry answers 503.
 	RequestTimeout time.Duration
@@ -108,9 +117,9 @@ type Config struct {
 	// MaxClocks caps clock periods per request (default 32).
 	MaxClocks int
 
-	// inferHook, when set (tests only), runs in the worker in place of
-	// nothing before inference; its error fails the job. It is how the
-	// deadline and worker-panic failure modes are exercised without
+	// inferHook, when set (tests only), runs in the worker once per
+	// live item before inference; its error fails the batch. It is how
+	// the deadline and worker-panic failure modes are exercised without
 	// slowing real inference.
 	inferHook func(ctx context.Context) error
 }
@@ -121,6 +130,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.MaxBatchRows <= 0 {
+		c.MaxBatchRows = 8192
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
@@ -140,10 +158,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// modelState is the atomically-swapped serving state: the model and its
-// reload generation travel under one pointer, so a predict racing a
-// hot-reload always observes a consistent (model, generation) pair —
-// never a torn mix.
+// modelState is the atomically-swapped serving state of one unit: the
+// model and its reload generation travel under one pointer, so a flush
+// racing a hot-reload always observes a consistent (model, generation)
+// pair — never a torn mix.
 type modelState struct {
 	model      *core.Model
 	generation int64
@@ -151,59 +169,84 @@ type modelState struct {
 	loaded     time.Time
 }
 
-// Server is one prediction service instance.
+// Server is one prediction service instance: one unit per functional
+// unit behind a shared mux and lifecycle.
 type Server struct {
 	cfg   Config
-	state atomic.Pointer[modelState]
+	units []*unit          // units[0] answers the legacy /v1/predict route
+	byFU  map[string]*unit // /v1/predict/{fu} routing, keyed by FU name
 
-	queue    chan *job
-	queueLen atomic.Int64
+	queueLen atomic.Int64 // aggregate across units (serve.queue_depth)
 	stopCh   chan struct{}
+	drainCh  chan struct{}
 	stopOnce sync.Once
+	drainOnce sync.Once
 	wg       sync.WaitGroup
+
+	itemPool sync.Pool // *batchItem
 
 	draining atomic.Bool
 	addr     atomic.Pointer[string]
-	reloadMu sync.Mutex
 }
 
-// job is one admitted predict request on its way through the pool.
-type job struct {
-	ctx  context.Context
-	req  *predictRequest
-	done chan jobResult // buffered(1): the worker never blocks on a gone handler
-}
-
-type jobResult struct {
-	resp *predictResponse
-	err  error
-}
-
-// errDraining fails residual queued jobs when the pool stops mid-drain.
+// errDraining fails residual queued items when the pool stops mid-drain.
 var errDraining = fmt.Errorf("serve: draining")
 
-// New validates cfg, installs the initial model, and starts the worker
-// pool. Pair with Close (or run the full lifecycle via ListenAndServe).
+// New validates cfg, installs the initial model(s), and starts one
+// coalescer plus a worker slice per functional unit. Pair with Close
+// (or run the full lifecycle via ListenAndServe).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Model == nil {
-		return nil, fmt.Errorf("serve: config needs a model")
+	models := cfg.Models
+	if len(models) == 0 {
+		if cfg.Model == nil {
+			return nil, fmt.Errorf("serve: config needs a model")
+		}
+		models = []ModelEntry{{Model: cfg.Model, Path: cfg.ModelPath}}
 	}
 	s := &Server{
-		cfg:    cfg,
-		queue:  make(chan *job, cfg.QueueDepth),
-		stopCh: make(chan struct{}),
+		cfg:     cfg,
+		byFU:    make(map[string]*unit, len(models)),
+		stopCh:  make(chan struct{}),
+		drainCh: make(chan struct{}),
 	}
-	s.state.Store(&modelState{model: cfg.Model, generation: 1, path: cfg.ModelPath, loaded: time.Now()})
+	s.itemPool.New = func() any {
+		return &batchItem{done: make(chan struct{}, 1)}
+	}
+	perUnit := cfg.Workers / len(models)
+	if perUnit < 1 {
+		perUnit = 1
+	}
+	for _, me := range models {
+		if me.Model == nil {
+			return nil, fmt.Errorf("serve: nil model in Models")
+		}
+		st := &modelState{model: me.Model, generation: 1, path: me.Path, loaded: time.Now()}
+		u := newUnit(s, st, perUnit)
+		if _, dup := s.byFU[u.fu]; dup {
+			return nil, fmt.Errorf("serve: duplicate model for %s", u.fu)
+		}
+		s.byFU[u.fu] = u
+		s.units = append(s.units, u)
+	}
 	gGeneration.Set(1)
 	gDraining.Set(0)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	for _, u := range s.units {
+		s.wg.Add(1 + u.workers)
+		go u.batcher()
+		for i := 0; i < u.workers; i++ {
+			go u.worker()
+		}
+	}
+	fus := make([]string, len(s.units))
+	for i, u := range s.units {
+		fus[i] = u.fu
 	}
 	obs.Logger("serve").Info("prediction server ready",
-		"fu", cfg.Model.FU.String(), "dim", cfg.Model.Dim(),
-		"workers", cfg.Workers, "queue", cfg.QueueDepth,
+		"fus", fus, "units", len(s.units),
+		"workers_per_unit", perUnit, "queue", cfg.QueueDepth,
+		"batch_size", cfg.BatchSize, "max_wait", cfg.MaxWait,
+		"max_batch_rows", cfg.MaxBatchRows,
 		"request_timeout", cfg.RequestTimeout)
 	return s, nil
 }
@@ -216,130 +259,28 @@ func (s *Server) Addr() string {
 	return ""
 }
 
-// Close stops the worker pool immediately; residual queued jobs fail
-// with 503. Idempotent. ListenAndServe calls it as part of draining;
-// tests that drive Handler directly call it themselves.
+// beginDrain flips every unit's coalescer into flush-immediately mode:
+// in-flight partial batches dispatch now instead of waiting out
+// MaxWait, and every straggler flushes alone. Idempotent.
+func (s *Server) beginDrain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Close stops the coalescers and worker pools immediately; residual
+// queued items fail with 503. Idempotent. ListenAndServe calls it as
+// part of draining; tests that drive Handler directly call it
+// themselves.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.wg.Wait()
 }
 
-// worker owns one set of reusable inference buffers and serves admitted
-// jobs until the pool stops. A panic inside inference fails only that
-// job: the recover below restarts nothing and loses nothing, because
-// buffers are rebuilt lazily and the model pointer is per-job.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	var buf workerBuf
-	for {
-		select {
-		case <-s.stopCh:
-			// Fail any jobs still queued so their handlers answer now
-			// instead of hanging until the request deadline.
-			for {
-				select {
-				case j := <-s.queue:
-					s.queueLen.Add(-1)
-					gQueueDepth.Set(float64(s.queueLen.Load()))
-					j.done <- jobResult{err: errDraining}
-				default:
-					return
-				}
-			}
-		case j := <-s.queue:
-			s.queueLen.Add(-1)
-			gQueueDepth.Set(float64(s.queueLen.Load()))
-			if j.ctx.Err() != nil {
-				// The handler already answered (deadline or client
-				// gone); don't burn inference on it.
-				mDropped.Inc()
-				continue
-			}
-			j.done <- s.inferJob(&buf, j)
-		}
-	}
-}
-
-// inferJob runs one job with panic isolation: a panicking prediction
-// (or test hook) becomes a per-job error, not a dead worker.
-func (s *Server) inferJob(buf *workerBuf, j *job) (res jobResult) {
-	defer func() {
-		if p := recover(); p != nil {
-			mPanics.Inc()
-			obs.Logger("serve").Error("inference panic recovered", "panic", fmt.Sprint(p))
-			res = jobResult{err: fmt.Errorf("serve: inference panic: %v", p)}
-		}
-	}()
-	if s.cfg.inferHook != nil {
-		if err := s.cfg.inferHook(j.ctx); err != nil {
-			return jobResult{err: err}
-		}
-	}
-	st := s.state.Load()
-	resp, err := predict(st, buf, j.req)
-	return jobResult{resp: resp, err: err}
-}
-
-// workerBuf is one worker's reusable inference scratch: feature rows
-// carved from a single backing array plus the delay output, re-carved
-// only when the batch capacity or model dimension changes.
-type workerBuf struct {
-	backing []float64
-	rows    [][]float64
-	delays  []float64
-	dim     int
-}
-
-func (b *workerBuf) ensure(dim, n int) {
-	if b.dim == dim && len(b.rows) >= n {
-		return
-	}
-	if n < len(b.rows) {
-		n = len(b.rows)
-	}
-	b.backing = make([]float64, n*dim)
-	b.rows = make([][]float64, n)
-	for i := range b.rows {
-		b.rows[i] = b.backing[i*dim : (i+1)*dim : (i+1)*dim]
-	}
-	b.delays = make([]float64, n)
-	b.dim = dim
-}
-
-// predict is the model evaluation for one validated request.
-func predict(st *modelState, buf *workerBuf, req *predictRequest) (*predictResponse, error) {
-	n := len(req.Pairs) - 1
-	buf.ensure(st.model.Dim(), n)
-	corner := cells.Corner{V: req.Voltage, T: req.Temperature}
-	if err := st.model.PredictDelaysPairsInto(buf.delays, buf.rows, corner, req.Pairs); err != nil {
-		return nil, err
-	}
-	resp := &predictResponse{
-		FU:              st.model.FU.String(),
-		ModelGeneration: st.generation,
-		Delays:          append([]float64(nil), buf.delays[:n]...),
-	}
-	for _, clk := range req.Clocks {
-		cr := clockResult{ClockPs: clk, Errors: make([]bool, n)}
-		bad := 0
-		for i, d := range buf.delays[:n] {
-			if d > clk {
-				cr.Errors[i] = true
-				bad++
-			}
-		}
-		cr.TER = float64(bad) / float64(n)
-		resp.Clocks = append(resp.Clocks, cr)
-	}
-	return resp, nil
-}
-
 // ListenAndServe binds cfg.Addr and serves until ctx is cancelled
 // (SIGINT/SIGTERM in the CLI), then drains gracefully: readiness flips
-// to draining, the listener stops accepting, in-flight requests get
-// DrainTimeout to finish, the worker pool stops, and the method
-// returns — nil on a clean drain so the caller can exit 0 through
-// obs.Run with the manifest intact.
+// to draining, in-flight partial batches flush, the listener stops
+// accepting, in-flight requests get DrainTimeout to finish, the worker
+// pools stop, and the method returns — nil on a clean drain so the
+// caller can exit 0 through obs.Run with the manifest intact.
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	lis, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -377,6 +318,9 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 func (s *Server) drain(srv *http.Server) error {
 	s.draining.Store(true)
 	gDraining.Set(1)
+	// Flush pending partial batches before the listener closes so no
+	// admitted request waits out MaxWait during shutdown.
+	s.beginDrain()
 	log := obs.Logger("serve")
 	log.Info("draining", "deadline", s.cfg.DrainTimeout, "in_queue", s.queueLen.Load())
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
@@ -384,7 +328,7 @@ func (s *Server) drain(srv *http.Server) error {
 	err := srv.Shutdown(dctx)
 	// Workers stop only after Shutdown returns: on the clean path every
 	// in-flight handler has finished by then, and on the deadline path
-	// residual jobs are failed fast rather than left hanging.
+	// residual items are failed fast rather than left hanging.
 	s.Close()
 	if err != nil {
 		srv.Close()
@@ -396,27 +340,67 @@ func (s *Server) drain(srv *http.Server) error {
 }
 
 // Progress is the /progress payload source for the obs debug endpoint:
-// a live snapshot of serving state.
+// a live snapshot of serving state across units.
 func (s *Server) Progress() any {
-	st := s.state.Load()
 	status := "serving"
 	if s.draining.Load() {
 		status = "draining"
 	}
+	units := make([]map[string]any, len(s.units))
+	for i, u := range s.units {
+		st := u.state.Load()
+		units[i] = map[string]any{
+			"fu":               u.fu,
+			"model_generation": st.generation,
+			"model_path":       st.path,
+			"model_loaded":     st.loaded,
+			"queue_depth":      u.queueLen.Load(),
+			"workers":          u.workers,
+		}
+	}
 	return map[string]any{
-		"status":           status,
-		"fu":               st.model.FU.String(),
-		"model_generation": st.generation,
-		"model_path":       st.path,
-		"model_loaded":     st.loaded,
-		"queue_depth":      s.queueLen.Load(),
-		"queue_capacity":   s.cfg.QueueDepth,
-		"workers":          s.cfg.Workers,
-		"served":           mServed.Value(),
-		"shed":             mShed.Value(),
-		"timeouts":         mTimeouts.Value(),
+		"status":         status,
+		"units":          units,
+		"queue_depth":    s.queueLen.Load(),
+		"queue_capacity": s.cfg.QueueDepth,
+		"batch_size":     s.cfg.BatchSize,
+		"max_wait":       s.cfg.MaxWait.String(),
+		"served":         mServed.Value(),
+		"shed":           mShed.Value(),
+		"timeouts":       mTimeouts.Value(),
 	}
 }
 
-// Generation reports the current model's reload generation.
-func (s *Server) Generation() int64 { return s.state.Load().generation }
+// Generation reports the default unit's model reload generation.
+func (s *Server) Generation() int64 { return s.units[0].state.Load().generation }
+
+// GenerationFU reports one unit's model reload generation (0 for an
+// unknown FU).
+func (s *Server) GenerationFU(fu string) int64 {
+	u, ok := s.unitFor(fu)
+	if !ok {
+		return 0
+	}
+	return u.state.Load().generation
+}
+
+// unitFor resolves an FU name to its unit, accepting any casing: FU
+// names are canonically uppercase (INT_ADD), but tevot-train saves
+// model files lowercase (int_add.tevot), so lowercase URLs are a
+// natural spelling.
+func (s *Server) unitFor(fu string) (*unit, bool) {
+	if u, ok := s.byFU[fu]; ok {
+		return u, true
+	}
+	u, ok := s.byFU[strings.ToUpper(fu)]
+	return u, ok
+}
+
+// FUs lists the served functional units, default unit first.
+func (s *Server) FUs() []string {
+	out := make([]string, len(s.units))
+	for i, u := range s.units {
+		out[i] = u.fu
+	}
+	return out
+}

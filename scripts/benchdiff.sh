@@ -1,8 +1,9 @@
 #!/bin/sh
 # Compare two benchmark JSON files produced by scripts/benchjson.sh and
 # fail (exit 1) when any shared benchmark regressed by more than the
-# threshold percentage — on ns/op, or on cycles/s where the benchmark
-# reports it (the simulator's throughput metric; a drop is a regression
+# threshold percentage — on ns/op, or on cycles/s / items/s where the
+# benchmark reports them (the simulator's and coalescer's throughput
+# metrics; a drop is a regression
 # even if ns/op noise hides it). events/cycle is carried through the
 # diff informationally: it is a workload property, not a speed, but a
 # shift flags a semantic change in the kernel. Improvements beyond the
@@ -66,10 +67,11 @@ for name in shared:
     print(f"{name:60s} {o:14.0f} {n:14.0f} {delta:+7.1f}%{flag}")
 
 # Throughput and kernel-shape metrics, where both sides report them.
-# cycles/s gates (lower is a regression); events/cycle and the memo's
-# hit% are informational: workload/cache properties, not speeds, but a
-# shift flags a semantic or fixture change worth a look.
-tracked = [("cycles/s", True), ("events/cycle", False), ("hit%", False)]
+# cycles/s and the coalescer's items/s gate (lower is a regression);
+# events/cycle and the memo's hit% are informational: workload/cache
+# properties, not speeds, but a shift flags a semantic or fixture
+# change worth a look.
+tracked = [("cycles/s", True), ("items/s", True), ("events/cycle", False), ("hit%", False)]
 rows = []
 for name in shared:
     for metric, gates in tracked:

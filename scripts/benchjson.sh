@@ -14,21 +14,33 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-	-bench 'BenchmarkCharacterizeParallel|BenchmarkCharacterizeMemo|BenchmarkForestPredictBatch|BenchmarkCycle|BenchmarkCounterInc|BenchmarkHistogramObserve' \
+	-bench 'BenchmarkCharacterizeParallel|BenchmarkCharacterizeMemo|BenchmarkForestPredictBatch|BenchmarkCycle|BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkServeBatch' \
 	-benchmem -count 1 \
-	./internal/core ./internal/ml ./internal/sim ./internal/obs | tee "$tmp"
+	./internal/core ./internal/ml ./internal/sim ./internal/obs ./internal/serve | tee "$tmp"
 
 python3 - "$tmp" "$out" <<'EOF'
 import json, re, sys
 
 lines = open(sys.argv[1]).read().splitlines()
 results = {}
+pending = None  # benchmark name whose result line is still coming
 for line in lines:
-    m = re.match(r"^(Benchmark\S+)\s+(\d+)\s+(.*)$", line)
-    if not m:
+    m = re.match(r"^(Benchmark\S+)\s*(.*)$", line)
+    if m:
+        name, rest = m.group(1), m.group(2)
+        # go test merges the binary's stderr into stdout, so a log line
+        # can split a benchmark's name from its result numbers; carry
+        # the name until the numbers arrive.
+        if not re.match(r"^\d+\s", rest):
+            pending = name
+            continue
+    elif pending and re.match(r"^\s*\d+\s+[0-9.]+ ns/op", line):
+        name, rest = pending, line.strip()
+    else:
         continue
-    name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
-    metrics = {"iterations": iters}
+    pending = None
+    iters, rest = rest.split(None, 1)
+    metrics = {"iterations": int(iters)}
     for value, unit in re.findall(r"([0-9.]+)\s+(\S+)", rest):
         metrics[unit] = float(value)
     results[name] = metrics

@@ -23,6 +23,15 @@ go test -run 'TestMetricsExpositionSmoke' ./cmd/tevot-sweep
 echo "== serve smoke: boot, predict, shed under tiny queue, corrupt reload, SIGTERM drain"
 go test -run 'TestServeAbuseSmoke' ./cmd/tevot-serve
 
+echo "== coalescer: flush policy, queued deadlines, drain, torn-model guard, 0-alloc hot path (race)"
+go test -race -run \
+	'TestFlushOn|TestDrainFlushesPartialBatch|TestBatchQueuedDeadline|TestReloadMidBatchGeneration|TestRetryAfterDerived|TestPerFU|TestAccountingIdentityPerFU' \
+	./internal/serve
+go test -run 'TestServeBatchHotPathAllocs' ./internal/serve
+
+echo "== loadgen smoke: real processes, open-loop ramp, /metrics accounting identity"
+sh scripts/loadgen_smoke.sh
+
 echo "== signal handling: SIGTERM flushes checkpoint + finalizes manifest"
 go test -run 'TestSigtermFlushesCheckpointAndManifest' ./cmd/tevot-sweep
 
